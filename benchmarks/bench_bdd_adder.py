@@ -1,0 +1,107 @@
+"""Appendix (Team 1): BDD don't-care minimization learns adders.
+
+Claims reproduced in shape:
+* with an MSB-first interleaved order, one-sided matching (restrict)
+  learns the 2nd MSB of a 2-word adder to high accuracy (~98% in the
+  paper);
+* with a bad (LSB-first word-major) order, accuracy collapses;
+* BDTs cannot learn wide XOR, BDDs can (patterns share nodes).
+"""
+
+from _report import echo
+
+import numpy as np
+
+from repro.bdd import BDD, minimize_dontcare, restrict
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.metrics import accuracy
+from repro.utils.rng import rng_for
+
+
+def _adder_dataset(k, n, rng):
+    X = rng.integers(0, 2, size=(n, 2 * k)).astype(np.uint8)
+    a = [sum(int(r[i]) << i for i in range(k)) for r in X]
+    b = [sum(int(r[k + i]) << i for i in range(k)) for r in X]
+    y = np.array(
+        [((av + bv) >> (k - 1)) & 1 for av, bv in zip(a, b)], np.uint8
+    )
+    return X, y
+
+
+def _learn_with_order(X, y, order, n_train, method="restrict"):
+    n = X.shape[1]
+    Xo = X[:, order]
+    bdd = BDD(n)
+    onset = bdd.from_samples(Xo[:n_train][y[:n_train] == 1])
+    care = bdd.from_samples(Xo[:n_train])
+    if method == "restrict":
+        g = restrict(bdd, onset, care)
+    else:
+        g = minimize_dontcare(bdd, onset, care)
+    pred = bdd.evaluate(g, Xo[n_train:])
+    return accuracy(y[n_train:], pred), bdd.count_nodes(g)
+
+
+def test_bdd_learns_adder_with_good_order(benchmark, scale):
+    k = 8
+    n_train = min(scale["samples"], 1200)
+    rng = rng_for("bench-bdd")
+    X, y = _adder_dataset(k, n_train + 800, rng)
+    msb_first = []
+    for j in reversed(range(k)):
+        msb_first.extend([j, k + j])
+    lsb_word_major = list(range(2 * k))
+
+    def run():
+        good = _learn_with_order(X, y, msb_first, n_train)
+        bad = _learn_with_order(X, y, lsb_word_major, n_train)
+        two_sided = _learn_with_order(X, y, msb_first, n_train,
+                                      method="two_sided")
+        return good, bad, two_sided
+
+    (good_acc, good_nodes), (bad_acc, bad_nodes), (ts_acc, ts_nodes) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    echo("\n=== Appendix: BDD don't-care minimization on adder ===")
+    echo(f"  MSB-first order, restrict:        acc {100 * good_acc:.1f}% "
+          f"({good_nodes} nodes)")
+    echo(f"  MSB-first order, naive two-sided: acc {100 * ts_acc:.1f}% "
+          f"({ts_nodes} nodes)")
+    echo(f"  LSB word-major order:             acc {100 * bad_acc:.1f}% "
+          f"({bad_nodes} nodes)")
+    assert good_acc > 0.85          # paper: ~98% at 6400 samples
+    assert good_acc > bad_acc + 0.1  # ordering is decisive
+    # The paper's negative result, reproduced: "naive two-sided
+    # matching fails (gets 50% accuracy)" on adders — merging
+    # compatible-looking siblings destroys the carry structure.
+    assert ts_acc < good_acc - 0.2
+
+
+def test_bdd_learns_wide_xor_bdt_cannot(benchmark, scale):
+    """Appendix: 'BDD can learn a large XOR ... BDT cannot'."""
+    n = 12
+    n_train = min(scale["samples"], 1500)
+    rng = rng_for("bench-bdd-xor")
+    X = rng.integers(0, 2, size=(n_train + 600, n)).astype(np.uint8)
+    y = (X.sum(axis=1) % 2).astype(np.uint8)
+
+    def run():
+        bdd = BDD(n)
+        onset = bdd.from_samples(X[:n_train][y[:n_train] == 1])
+        care = bdd.from_samples(X[:n_train])
+        # XOR cofactors are complements: the *complemented* two-sided
+        # matching is the one that recovers the structure.
+        g = minimize_dontcare(bdd, onset, care, complemented=True)
+        bdd_acc = accuracy(y[n_train:], bdd.evaluate(g, X[n_train:]))
+        nodes = bdd.count_nodes(g)
+        tree = DecisionTree(max_depth=8).fit(X[:n_train], y[:n_train])
+        dt_acc = accuracy(y[n_train:], tree.predict(X[n_train:]))
+        return bdd_acc, nodes, dt_acc
+
+    bdd_acc, nodes, dt_acc = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    echo(f"\n  12-XOR: BDD {100 * bdd_acc:.1f}% ({nodes} nodes) vs "
+          f"BDT {100 * dt_acc:.1f}%")
+    assert dt_acc < 0.65, "depth-limited DT must fail wide XOR"
+    assert bdd_acc > 0.9, "complemented matching recovers XOR"
+    assert nodes <= 4 * n, "the recovered BDD is compact (linear)"

@@ -1,0 +1,401 @@
+"""Core And-Inverter Graph data structure.
+
+Literals follow the AIGER convention: variable 0 is the constant false,
+variables ``1 .. n_inputs`` are the primary inputs, and AND nodes take
+the following variable indices.  The literal of variable ``v`` is
+``2 * v``; ``2 * v + 1`` is its complement.  Fanin variable indices are
+always smaller than the node's own index, so the node list is already a
+topological order.
+
+The graph is structurally hashed: :meth:`AIG.add_and` folds constants,
+normalizes fanin order and reuses an existing node when one computes
+the same function of the same fanins.  Optimization passes rely on
+:meth:`AIG.checkpoint` / :meth:`AIG.rollback` to tentatively build
+candidate subgraphs and undo them when they do not improve size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.bitops import WORD_BITS, pack_bits, unpack_bits
+
+CONST0 = 0
+CONST1 = 1
+
+
+def lit_var(lit: int) -> int:
+    """Variable index of a literal."""
+    return lit >> 1
+
+
+def lit_is_compl(lit: int) -> bool:
+    """True if the literal is complemented."""
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    """Complement of a literal."""
+    return lit ^ 1
+
+
+def lit_make(var: int, compl: bool = False) -> int:
+    """Literal for variable ``var``, optionally complemented."""
+    return (var << 1) | int(compl)
+
+
+def lit_regular(lit: int) -> int:
+    """The positive-polarity literal of the same variable."""
+    return lit & ~1
+
+
+class AIG:
+    """A structurally hashed And-Inverter Graph.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of primary inputs.  Input ``i`` (0-based) has literal
+        :meth:`input_lit`\\ ``(i)``.
+    """
+
+    def __init__(self, n_inputs: int):
+        if n_inputs < 0:
+            raise ValueError("n_inputs must be non-negative")
+        self.n_inputs = n_inputs
+        # Fanins of AND nodes; AND node j has variable index
+        # n_inputs + 1 + j.
+        self._fanin0: List[int] = []
+        self._fanin1: List[int] = []
+        self.outputs: List[int] = []
+        self._strash = {}
+        self._strash_log: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_ands(self) -> int:
+        """Number of AND nodes."""
+        return len(self._fanin0)
+
+    @property
+    def num_vars(self) -> int:
+        """Total variable count: constant + inputs + AND nodes."""
+        return 1 + self.n_inputs + self.num_ands
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def input_lit(self, i: int) -> int:
+        """Literal of primary input ``i`` (0-based)."""
+        if not 0 <= i < self.n_inputs:
+            raise IndexError(f"input index {i} out of range")
+        return lit_make(1 + i)
+
+    def input_lits(self) -> List[int]:
+        """Literals of all primary inputs, in order."""
+        return [lit_make(1 + i) for i in range(self.n_inputs)]
+
+    def is_const_var(self, var: int) -> bool:
+        return var == 0
+
+    def is_input_var(self, var: int) -> bool:
+        return 1 <= var <= self.n_inputs
+
+    def is_and_var(self, var: int) -> bool:
+        return var > self.n_inputs
+
+    def fanins(self, var: int) -> Tuple[int, int]:
+        """Fanin literals of AND node variable ``var``."""
+        idx = var - self.n_inputs - 1
+        if idx < 0:
+            raise ValueError(f"variable {var} is not an AND node")
+        return self._fanin0[idx], self._fanin1[idx]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_and(self, a: int, b: int) -> int:
+        """AND of two literals with constant folding and strashing."""
+        if a > b:
+            a, b = b, a
+        # Constant and trivial cases.
+        if a == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return CONST0
+        key = (a, b)
+        found = self._strash.get(key)
+        if found is not None:
+            return found
+        var = self.num_vars
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        lit = lit_make(var)
+        self._strash[key] = lit
+        self._strash_log.append(key)
+        return lit
+
+    def add_or(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """XOR as two ANDs plus an OR (3 AND nodes)."""
+        return self.add_or(
+            self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b)
+        )
+
+    def add_mux(self, sel: int, t: int, e: int) -> int:
+        """``sel ? t : e``."""
+        return self.add_or(self.add_and(sel, t), self.add_and(lit_not(sel), e))
+
+    def add_maj3(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals."""
+        return self.add_or(
+            self.add_and(a, b), self.add_or(self.add_and(a, c), self.add_and(b, c))
+        )
+
+    def add_and_multi(self, lits: Sequence[int]) -> int:
+        """Balanced conjunction of many literals."""
+        return self._reduce_balanced(list(lits), self.add_and, CONST1)
+
+    def add_or_multi(self, lits: Sequence[int]) -> int:
+        """Balanced disjunction of many literals."""
+        return self._reduce_balanced(list(lits), self.add_or, CONST0)
+
+    def add_xor_multi(self, lits: Sequence[int]) -> int:
+        """Balanced parity of many literals."""
+        return self._reduce_balanced(list(lits), self.add_xor, CONST0)
+
+    @staticmethod
+    def _reduce_balanced(lits, op, identity):
+        if not lits:
+            return identity
+        while len(lits) > 1:
+            nxt = []
+            for i in range(0, len(lits) - 1, 2):
+                nxt.append(op(lits[i], lits[i + 1]))
+            if len(lits) % 2:
+                nxt.append(lits[-1])
+            lits = nxt
+        return lits[0]
+
+    def set_output(self, lit: int) -> int:
+        """Append an output literal; returns its output index."""
+        self.outputs.append(lit)
+        return len(self.outputs) - 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback for tentative construction
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Tuple[int, int, int]:
+        """Snapshot for :meth:`rollback` (node count, strash log, outputs)."""
+        return (self.num_ands, len(self._strash_log), len(self.outputs))
+
+    def rollback(self, state: Tuple[int, int, int]) -> None:
+        """Undo all nodes/outputs added after ``state`` was taken."""
+        n_ands, n_log, n_outs = state
+        for key in self._strash_log[n_log:]:
+            self._strash.pop(key, None)
+        del self._strash_log[n_log:]
+        del self._fanin0[n_ands:]
+        del self._fanin1[n_ands:]
+        del self.outputs[n_outs:]
+
+    # ------------------------------------------------------------------
+    # Structural analysis
+    # ------------------------------------------------------------------
+    def levels(self) -> np.ndarray:
+        """Level of every variable (constant and inputs are level 0)."""
+        lv = np.zeros(self.num_vars, dtype=np.int32)
+        base = self.n_inputs + 1
+        for j in range(self.num_ands):
+            a = lv[self._fanin0[j] >> 1]
+            b = lv[self._fanin1[j] >> 1]
+            lv[base + j] = (a if a > b else b) + 1
+        return lv
+
+    def depth(self) -> int:
+        """Number of logic levels on the longest output path."""
+        if not self.outputs:
+            return 0
+        lv = self.levels()
+        return int(max(lv[lit_var(o)] for o in self.outputs))
+
+    def fanout_counts(self) -> np.ndarray:
+        """Number of fanout references per variable (incl. outputs)."""
+        counts = np.zeros(self.num_vars, dtype=np.int64)
+        for j in range(self.num_ands):
+            counts[self._fanin0[j] >> 1] += 1
+            counts[self._fanin1[j] >> 1] += 1
+        for o in self.outputs:
+            counts[lit_var(o)] += 1
+        return counts
+
+    def reachable_vars(self, lits: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Boolean mask of variables in the transitive fanin of ``lits``.
+
+        Defaults to the registered outputs.
+        """
+        if lits is None:
+            lits = self.outputs
+        mask = np.zeros(self.num_vars, dtype=bool)
+        stack = [lit_var(l) for l in lits]
+        while stack:
+            var = stack.pop()
+            if mask[var]:
+                continue
+            mask[var] = True
+            if self.is_and_var(var):
+                f0, f1 = self.fanins(var)
+                stack.append(lit_var(f0))
+                stack.append(lit_var(f1))
+        return mask
+
+    def count_used_ands(self, lits: Optional[Iterable[int]] = None) -> int:
+        """AND nodes in the transitive fanin of ``lits`` (default outputs)."""
+        mask = self.reachable_vars(lits)
+        return int(mask[self.n_inputs + 1 :].sum())
+
+    def extract_cone(self, lits: Optional[Sequence[int]] = None) -> "AIG":
+        """Compact copy containing only logic reachable from ``lits``.
+
+        Primary inputs are all preserved (same indices) so the new graph
+        computes the same function of the same input vector.  ``lits``
+        defaults to the registered outputs.
+        """
+        if lits is None:
+            lits = list(self.outputs)
+        new = AIG(self.n_inputs)
+        mask = self.reachable_vars(lits)
+        mapping = np.full(self.num_vars, -1, dtype=np.int64)
+        mapping[0] = CONST0
+        for i in range(self.n_inputs):
+            mapping[1 + i] = new.input_lit(i)
+        base = self.n_inputs + 1
+        for j in range(self.num_ands):
+            var = base + j
+            if not mask[var]:
+                continue
+            f0, f1 = self._fanin0[j], self._fanin1[j]
+            a = mapping[f0 >> 1] ^ (f0 & 1)
+            b = mapping[f1 >> 1] ^ (f1 & 1)
+            mapping[var] = new.add_and(a, b)
+        for lit in lits:
+            new.set_output(int(mapping[lit_var(lit)]) ^ (lit & 1))
+        return new
+
+    def copy(self) -> "AIG":
+        """Deep copy."""
+        new = AIG(self.n_inputs)
+        new._fanin0 = list(self._fanin0)
+        new._fanin1 = list(self._fanin1)
+        new.outputs = list(self.outputs)
+        new._strash = dict(self._strash)
+        new._strash_log = list(self._strash_log)
+        return new
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate_packed_all(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Bit-parallel simulation returning values of *every* variable.
+
+        ``packed_inputs`` has shape ``(n_inputs, n_words)`` with 64
+        samples per uint64 word (see :func:`repro.utils.pack_bits`).
+        Returns the full value matrix, shape ``(num_vars, n_words)``,
+        in positive polarity (row of variable ``v`` is ``v``'s value).
+        """
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.shape[0] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input rows, got {packed_inputs.shape[0]}"
+            )
+        n_words = packed_inputs.shape[1] if packed_inputs.ndim == 2 else 1
+        values = np.zeros((self.num_vars, n_words), dtype=np.uint64)
+        values[1 : 1 + self.n_inputs] = packed_inputs
+        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        f0 = self._fanin0
+        f1 = self._fanin1
+        base = self.n_inputs + 1
+        for j in range(self.num_ands):
+            a, b = f0[j], f1[j]
+            va = values[a >> 1]
+            if a & 1:
+                va = va ^ ones
+            vb = values[b >> 1]
+            if b & 1:
+                vb = vb ^ ones
+            values[base + j] = va & vb
+        return values
+
+    def simulate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Bit-parallel simulation of the registered outputs.
+
+        ``packed_inputs`` has shape ``(n_inputs, n_words)``; returns
+        packed output values, shape ``(n_outputs, n_words)``.
+        """
+        values = self.simulate_packed_all(packed_inputs)
+        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        n_words = values.shape[1]
+        out = np.empty((len(self.outputs), n_words), dtype=np.uint64)
+        for k, lit in enumerate(self.outputs):
+            v = values[lit >> 1]
+            out[k] = v ^ ones if lit & 1 else v
+        return out
+
+    def simulate(self, samples: np.ndarray) -> np.ndarray:
+        """Evaluate on a ``(n_samples, n_inputs)`` 0/1 matrix.
+
+        Returns a ``(n_samples, n_outputs)`` uint8 matrix.
+        """
+        samples = np.asarray(samples, dtype=np.uint8)
+        if samples.ndim == 1:
+            samples = samples[None, :]
+        n_samples = samples.shape[0]
+        packed = pack_bits(samples)
+        out = self.simulate_packed(packed)
+        return unpack_bits(out, n_samples)
+
+    def truth_tables(self, n_vars: Optional[int] = None) -> List[int]:
+        """Exhaustive truth table of each output as a Python int.
+
+        Bit ``m`` of the result is the output value on the input
+        assignment whose bits are the binary digits of ``m`` (input 0 is
+        the least significant digit).  Only sensible for small input
+        counts (``n_inputs <= 20``).
+        """
+        n = self.n_inputs if n_vars is None else n_vars
+        if n > 20:
+            raise ValueError("truth tables limited to 20 inputs")
+        n_rows = 1 << n
+        grid = np.zeros((n_rows, self.n_inputs), dtype=np.uint8)
+        for i in range(min(n, self.n_inputs)):
+            period = 1 << (i + 1)
+            pattern = np.zeros(period, dtype=np.uint8)
+            pattern[1 << i :] = 1
+            grid[:, i] = np.tile(pattern, n_rows // period)
+        values = self.simulate(grid)
+        tables = []
+        for k in range(self.num_outputs):
+            bits = values[:, k]
+            table = 0
+            for m in np.nonzero(bits)[0]:
+                table |= 1 << int(m)
+            tables.append(table)
+        return tables
+
+    def __repr__(self) -> str:
+        return (
+            f"AIG(inputs={self.n_inputs}, ands={self.num_ands}, "
+            f"outputs={self.num_outputs})"
+        )

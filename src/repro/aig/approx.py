@@ -1,0 +1,142 @@
+"""Simulation-guided AIG approximation (Team 1's size reducer).
+
+When a learned circuit exceeds the 5000-node contest cap, Team 1
+simulates it with thousands of random input patterns and repeatedly
+replaces the node that is most often constant by that constant
+(complemented references become the opposite constant).  Nodes near the
+outputs are protected by a level threshold so the result does not
+collapse to a constant.  The paper reports <= 5% accuracy loss while
+removing 3000-5000 nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.aig.aig import AIG, CONST0, CONST1
+from repro.utils.bitops import popcount64
+from repro.utils.rng import rng_for
+
+
+def substitute_constants(aig: AIG, overrides: Dict[int, int]) -> AIG:
+    """Rebuild with selected variables replaced by constant literals.
+
+    ``overrides`` maps variable index -> constant literal (0 or 1).
+    """
+    new = AIG(aig.n_inputs)
+    mapping = np.zeros(aig.num_vars, dtype=np.int64)
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    for var, const in overrides.items():
+        if aig.is_input_var(var):
+            raise ValueError("cannot replace a primary input by a constant")
+        mapping[var] = const
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        if var in overrides:
+            continue
+        f0, f1 = aig.fanins(var)
+        a = int(mapping[f0 >> 1]) ^ (f0 & 1)
+        b = int(mapping[f1 >> 1]) ^ (f1 & 1)
+        mapping[var] = new.add_and(a, b)
+    for lit in aig.outputs:
+        new.set_output(int(mapping[lit >> 1]) ^ (lit & 1))
+    return new.extract_cone()
+
+
+def approximate_to_size(
+    aig: AIG,
+    max_ands: int = 5000,
+    n_patterns: int = 4096,
+    level_margin: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    patterns: Optional[np.ndarray] = None,
+) -> AIG:
+    """Shrink the graph below ``max_ands`` by constant substitution.
+
+    Follows Team 1's recipe: simulate ``n_patterns`` random patterns,
+    rank AND nodes by how skewed their value distribution is, replace
+    the most skewed node(s) by their majority constant, garbage-collect
+    and repeat.  Nodes within ``level_margin`` levels of the deepest
+    output are excluded; if no candidate remains the margin is relaxed.
+
+    ``patterns`` (a 0/1 sample matrix) replaces the uniform random
+    stimuli.  When the circuit will only ever see inputs from a
+    non-uniform distribution (the image-like contest benchmarks),
+    ranking node skew under *that* distribution loses far less
+    accuracy per removed node.
+    """
+    if rng is None:
+        rng = rng_for("approx")
+    aig = aig.extract_cone()
+    if patterns is not None:
+        from repro.utils.bitops import pack_bits
+
+        patterns = np.asarray(patterns, dtype=np.uint8)
+        fixed_packed = pack_bits(patterns)
+        n_samples = patterns.shape[0]
+        pad = n_samples % 64
+    n_words = (n_patterns + 63) // 64
+    while aig.num_ands > max_ands:
+        if patterns is not None:
+            values = aig.simulate_packed_all(fixed_packed)
+            if pad:
+                values[:, -1] &= np.uint64((1 << pad) - 1)
+            ones = popcount64(values).sum(axis=1).astype(np.int64)
+            total = n_samples
+        else:
+            packed = rng.integers(
+                0, np.iinfo(np.uint64).max, size=(aig.n_inputs, n_words),
+                dtype=np.uint64, endpoint=True,
+            )
+            values = aig.simulate_packed_all(packed)
+            ones = popcount64(values).sum(axis=1).astype(np.int64)
+            total = n_words * 64
+        levels = aig.levels()
+        depth = int(levels.max(initial=0))
+        base = aig.n_inputs + 1
+        margin = level_margin
+        candidates = np.array([], dtype=np.int64)
+        while candidates.size == 0 and margin >= 0:
+            level_ok = levels[base:] <= depth - margin
+            candidates = np.nonzero(level_ok)[0] + base
+            margin -= 1
+        if candidates.size == 0:
+            break
+        skew = np.maximum(ones[candidates], total - ones[candidates])
+        # Replace a small batch per round, proportional to the excess
+        # (Team 1 replaced one node at a time; small batches keep the
+        # per-node skew ranking honest while staying fast).
+        excess = aig.num_ands - max_ands
+        batch = max(1, min(excess, candidates.size, excess // 500 + 1))
+        order = np.argsort(-skew, kind="stable")[:batch]
+        overrides = {}
+        for idx in order:
+            var = int(candidates[idx])
+            majority_one = ones[var] * 2 >= total
+            overrides[var] = CONST1 if majority_one else CONST0
+        smaller = substitute_constants(aig, overrides)
+        if smaller.num_ands == 0 and aig.num_ands > max(1, max_ands):
+            # Catastrophic collapse to a constant: retry one node at a
+            # time and keep the first substitution that preserves a
+            # non-trivial circuit ("to avoid the result being constant
+            # 0 or 1", as Team 1's guard intends).
+            smaller = None
+            for idx in np.argsort(-skew, kind="stable"):
+                var = int(candidates[idx])
+                majority_one = ones[var] * 2 >= total
+                attempt = substitute_constants(
+                    aig, {var: CONST1 if majority_one else CONST0}
+                )
+                if 0 < attempt.num_ands < aig.num_ands:
+                    smaller = attempt
+                    break
+            if smaller is None:
+                break
+        if smaller.num_ands >= aig.num_ands:
+            break
+        aig = smaller
+    return aig

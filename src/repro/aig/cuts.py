@@ -1,0 +1,111 @@
+"""K-feasible cut enumeration and cut-function computation.
+
+Used by the rewriting pass: every AND node gets a set of cuts (leaf
+sets of bounded size); the function of the node in terms of each cut's
+leaves is computed by evaluating the cone between leaves and root on
+exhaustive leaf patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.aig.aig import AIG
+from repro.aig.isop import full_mask, var_mask
+
+Cut = Tuple[int, ...]  # sorted variable indices
+
+
+def enumerate_cuts(
+    aig: AIG, k: int = 4, max_cuts: int = 8
+) -> Dict[int, List[Cut]]:
+    """Per-variable k-feasible cuts (including the trivial cut).
+
+    Returns a dict mapping each variable index to a list of cuts; each
+    cut is a sorted tuple of leaf variable indices.  The constant
+    variable never appears as a leaf.
+    """
+    cuts: Dict[int, List[Cut]] = {0: [()]}
+    for i in range(aig.n_inputs):
+        cuts[1 + i] = [(1 + i,)]
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        f0, f1 = aig.fanins(var)
+        v0, v1 = f0 >> 1, f1 >> 1
+        merged = {(var,)}
+        for c0 in cuts[v0]:
+            for c1 in cuts[v1]:
+                leaves = tuple(sorted(set(c0) | set(c1)))
+                if len(leaves) <= k:
+                    merged.add(leaves)
+        # Drop dominated cuts (supersets of another cut).
+        pruned = []
+        as_sets = sorted(merged, key=len)
+        for cand in as_sets:
+            cs = set(cand)
+            if any(set(p) <= cs and p != cand for p in pruned):
+                continue
+            pruned.append(cand)
+        pruned.sort(key=lambda c: (len(c), c))
+        cuts[var] = pruned[:max_cuts]
+    return cuts
+
+
+def cut_function(aig: AIG, root: int, leaves: Sequence[int]) -> int:
+    """Truth table of variable ``root`` in terms of ``leaves``.
+
+    ``leaves`` must be a cut of ``root`` (every path from the root to
+    the inputs passes through a leaf); otherwise a ``ValueError`` is
+    raised when an input variable outside the cut is reached.
+    """
+    k = len(leaves)
+    values: Dict[int, int] = {0: 0}
+    for pos, leaf in enumerate(leaves):
+        values[leaf] = var_mask(k, pos)
+    fm = full_mask(k)
+
+    def eval_var(var: int) -> int:
+        found = values.get(var)
+        if found is not None:
+            return found
+        if not aig.is_and_var(var):
+            raise ValueError(
+                f"variable {var} reached outside the cut {leaves}"
+            )
+        f0, f1 = aig.fanins(var)
+        a = eval_var(f0 >> 1)
+        if f0 & 1:
+            a = ~a & fm
+        b = eval_var(f1 >> 1)
+        if f1 & 1:
+            b = ~b & fm
+        result = a & b
+        values[var] = result
+        return result
+
+    return eval_var(root)
+
+
+def mffc_size(aig: AIG, var: int, fanout: Sequence[int]) -> int:
+    """Size of the maximum fanout-free cone rooted at ``var``.
+
+    ``fanout`` is the fanout count array of the graph.  The MFFC is the
+    set of AND nodes that would become dead if ``var`` were removed.
+    """
+    if not aig.is_and_var(var):
+        return 0
+    counted = set()
+
+    def walk(v: int, is_root: bool) -> None:
+        if v in counted or not aig.is_and_var(v):
+            return
+        if not is_root and fanout[v] > 1:
+            return
+        counted.add(v)
+        f0, f1 = aig.fanins(v)
+        walk(f0 >> 1, False)
+        walk(f1 >> 1, False)
+
+    walk(var, True)
+    return len(counted)

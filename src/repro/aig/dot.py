@@ -1,0 +1,53 @@
+"""Graphviz DOT export for AIGs.
+
+Debugging/teaching aid: inverted edges are drawn dashed, inputs as
+boxes, outputs as double circles — the conventional AIG rendering.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.aig.aig import AIG, lit_var
+
+PathLike = Union[str, Path]
+
+
+def aig_to_dot(aig: AIG, graph_name: str = "aig") -> str:
+    """DOT source for the graph (only logic reachable from outputs)."""
+    mask = aig.reachable_vars()
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;"]
+    if mask[0]:
+        lines.append('  n0 [label="0", shape=box, style=dotted];')
+    for i in range(aig.n_inputs):
+        var = 1 + i
+        if mask[var]:
+            lines.append(f'  n{var} [label="x{i}", shape=box];')
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        if not mask[var]:
+            continue
+        lines.append(f'  n{var} [label="and", shape=circle];')
+        for fanin in aig.fanins(var):
+            style = ", style=dashed" if fanin & 1 else ""
+            lines.append(
+                f"  n{lit_var(fanin)} -> n{var} [dir=none{style}];"
+            )
+    for idx, lit in enumerate(aig.outputs):
+        lines.append(
+            f'  o{idx} [label="y{idx}", shape=doublecircle];'
+        )
+        style = ", style=dashed" if lit & 1 else ""
+        lines.append(f"  n{lit_var(lit)} -> o{idx} [dir=none{style}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(aig: AIG, path: PathLike,
+              graph_name: Optional[str] = None) -> None:
+    """Write DOT to a file (graph name defaults to the file stem)."""
+    path = Path(path)
+    name = graph_name if graph_name is not None else path.stem
+    path.write_text(aig_to_dot(aig, name), encoding="ascii")

@@ -1,0 +1,130 @@
+"""Irredundant sum-of-products from truth tables (Minato–Morreale).
+
+Truth tables over ``k`` variables are Python ints with ``2**k`` bits;
+bit ``m`` is the function value on the assignment whose binary digits
+are ``m`` (variable 0 = least significant digit).  The ISOP procedure
+takes an interval ``[lower, upper]`` (onset must be covered, don't
+cares = ``upper & ~lower``) and returns an irredundant cover.
+
+Cubes are tuples of ``(var, value)`` pairs sorted by variable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+Cube = Tuple[Tuple[int, int], ...]
+
+
+@lru_cache(maxsize=None)
+def full_mask(k: int) -> int:
+    """All-ones truth table over k variables."""
+    return (1 << (1 << k)) - 1
+
+
+@lru_cache(maxsize=None)
+def var_mask(k: int, i: int) -> int:
+    """Truth table of variable ``i`` over ``k`` variables."""
+    s = 1 << i
+    block = ((1 << s) - 1) << s  # s zeros then s ones
+    period = 2 * s
+    reps = (1 << k) // period
+    m = 0
+    for r in range(reps):
+        m |= block << (r * period)
+    return m
+
+
+def cofactor0(table: int, k: int, i: int) -> int:
+    """Cofactor with variable ``i`` = 0, expanded back over k vars."""
+    s = 1 << i
+    half = table & ~var_mask(k, i)
+    return half | (half << s)
+
+
+def cofactor1(table: int, k: int, i: int) -> int:
+    """Cofactor with variable ``i`` = 1, expanded back over k vars."""
+    s = 1 << i
+    half = table & var_mask(k, i)
+    return half | (half >> s)
+
+
+def support(table: int, k: int) -> List[int]:
+    """Variables the function actually depends on."""
+    return [
+        i for i in range(k) if cofactor0(table, k, i) != cofactor1(table, k, i)
+    ]
+
+
+def cube_table(cube: Cube, k: int) -> int:
+    """Truth table of a cube over k variables."""
+    table = full_mask(k)
+    for var, value in cube:
+        m = var_mask(k, var)
+        table &= m if value else ~m & full_mask(k)
+    return table
+
+
+def cover_table(cover: List[Cube], k: int) -> int:
+    """Truth table of a cover (OR of cubes)."""
+    table = 0
+    for cube in cover:
+        table |= cube_table(cube, k)
+    return table
+
+
+def isop(lower: int, upper: int, k: int) -> Tuple[List[Cube], int]:
+    """Minato–Morreale irredundant SOP for the interval [lower, upper].
+
+    Returns ``(cover, table)`` where ``lower <= table <= upper``
+    (bitwise implication) and ``cover`` is an irredundant cube list
+    realizing ``table``.
+    """
+    if lower & ~upper & full_mask(k):
+        raise ValueError("infeasible interval: lower not contained in upper")
+    cover, table = _isop(lower, upper, k, k)
+    return cover, table
+
+
+def _isop(lower: int, upper: int, k: int, top: int) -> Tuple[List[Cube], int]:
+    if lower == 0:
+        return [], 0
+    if upper == full_mask(k):
+        return [()], full_mask(k)
+    # Split on the highest variable in the support of either bound.
+    var = None
+    for i in reversed(range(top)):
+        if (
+            cofactor0(lower, k, i) != cofactor1(lower, k, i)
+            or cofactor0(upper, k, i) != cofactor1(upper, k, i)
+        ):
+            var = i
+            break
+    if var is None:
+        # Constant interval containing 1 (upper != full handled above
+        # only when some var is in support; here lower != 0 and no
+        # support => lower == upper == full, already returned).
+        return [()], full_mask(k)
+    l0, l1 = cofactor0(lower, k, var), cofactor1(lower, k, var)
+    u0, u1 = cofactor0(upper, k, var), cofactor1(upper, k, var)
+    fm = full_mask(k)
+    # Cubes that must contain literal !var / var.
+    c0, f0 = _isop(l0 & ~u1 & fm, u0, k, var)
+    c1, f1 = _isop(l1 & ~u0 & fm, u1, k, var)
+    # Remaining minterms coverable without the split variable.
+    l_rest = (l0 & ~f0 & fm) | (l1 & ~f1 & fm)
+    cr, fr = _isop(l_rest, u0 & u1, k, var)
+    # f0 applies where var=0, f1 where var=1, fr everywhere.
+    nm = var_mask(k, var)
+    table = (f0 & ~nm & fm) | (f1 & nm) | fr
+    cover = (
+        [_extend(c, var, 0) for c in c0]
+        + [_extend(c, var, 1) for c in c1]
+        + cr
+    )
+    return cover, table
+
+
+def _extend(cube: Cube, var: int, value: int) -> Cube:
+    return tuple(sorted(cube + ((var, value),)))

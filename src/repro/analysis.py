@@ -1,0 +1,201 @@
+"""Comparative analysis of flow results (the paper's section V).
+
+Turns per-team :class:`~repro.contest.evaluate.Score` lists into the
+paper's tables and figures: Table III (team summary), Fig. 2 (accuracy
+vs size Pareto with the virtual best), Fig. 3 (per-benchmark maximum
+accuracy), Fig. 4 (win-rate / top-1% counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.contest.evaluate import Score, summarize
+from repro.flows.portfolio import virtual_best
+
+
+def table3(scores_by_team: Dict[str, List[Score]]) -> List[dict]:
+    """Table III rows sorted like the paper (test accuracy descending)."""
+    rows = []
+    for team, scores in scores_by_team.items():
+        summary = summarize(scores)
+        summary["team"] = team
+        rows.append(summary)
+    rows.sort(key=lambda r: -r["test_accuracy"])
+    return rows
+
+
+def pareto_curve(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Pareto frontier of (size, accuracy) points: smaller-is-better
+    size, larger-is-better accuracy, sorted by size ascending."""
+    frontier: List[Tuple[float, float]] = []
+    for size, acc in sorted(points):
+        if not frontier or acc > frontier[-1][1]:
+            frontier.append((size, acc))
+    return frontier
+
+
+def accuracy_size_tradeoff(
+    scores_by_team: Dict[str, List[Score]],
+    accuracy_grid: Sequence[float] = (0.85, 0.87, 0.89, 0.91, 0.93),
+) -> List[Tuple[float, float]]:
+    """Fig. 2's virtual-best trade-off curve.
+
+    For each target average accuracy, chooses per-benchmark solutions
+    (among all teams' solutions) minimizing average size subject to the
+    average accuracy reaching the target: per benchmark we scan the
+    accuracy-sorted candidate list, which yields the standard
+    Lagrangian sweep approximation the paper plots.
+    """
+    by_benchmark: Dict[str, List[Score]] = {}
+    for scores in scores_by_team.values():
+        for s in scores:
+            if s.legal:
+                by_benchmark.setdefault(s.benchmark, []).append(s)
+    curve: List[Tuple[float, float]] = []
+    lambdas = np.geomspace(1e-6, 1e-1, 60)
+    for lam in lambdas:
+        total_acc = 0.0
+        total_size = 0.0
+        for entries in by_benchmark.values():
+            best = max(entries,
+                       key=lambda s: s.test_accuracy - lam * s.num_ands)
+            total_acc += best.test_accuracy
+            total_size += best.num_ands
+        n = len(by_benchmark)
+        curve.append((total_size / n, total_acc / n))
+    # Reduce to the Pareto frontier.
+    frontier = pareto_curve(curve)
+    del accuracy_grid
+    return frontier
+
+
+def size_needed_for_accuracy(
+    frontier: Sequence[Tuple[float, float]], accuracy: float
+) -> float:
+    """Smallest average size on the frontier reaching ``accuracy``."""
+    feasible = [size for size, acc in frontier if acc >= accuracy]
+    if not feasible:
+        return float("nan")
+    return min(feasible)
+
+
+def per_benchmark_best(
+    scores_by_team: Dict[str, List[Score]]
+) -> Dict[str, float]:
+    """Fig. 3: maximum accuracy achieved on each benchmark."""
+    return {
+        s.benchmark: s.test_accuracy
+        for s in virtual_best(scores_by_team)
+    }
+
+
+def win_rates(
+    scores_by_team: Dict[str, List[Score]], top_tolerance: float = 0.01
+) -> Dict[str, Dict[str, int]]:
+    """Fig. 4: per team, #benchmarks where it is best / within top 1%."""
+    by_benchmark: Dict[str, Dict[str, Score]] = {}
+    for team, scores in scores_by_team.items():
+        for s in scores:
+            by_benchmark.setdefault(s.benchmark, {})[team] = s
+    out = {team: {"best": 0, "top1pct": 0} for team in scores_by_team}
+    for entries in by_benchmark.values():
+        top = max(e.test_accuracy for e in entries.values())
+        winners = [
+            t for t, e in entries.items() if e.test_accuracy == top
+        ]
+        for t in winners:
+            out[t]["best"] += 1
+        for t, e in entries.items():
+            if e.test_accuracy >= top - top_tolerance:
+                out[t]["top1pct"] += 1
+    return out
+
+
+def format_table3(rows: List[dict]) -> str:
+    """Render Table III the way the paper prints it."""
+    lines = [
+        f"{'team':>8} {'test acc':>9} {'And gates':>10} "
+        f"{'levels':>7} {'overfit':>8}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['team']:>8} {100 * r['test_accuracy']:9.2f} "
+            f"{r['and_gates']:10.2f} {r['levels']:7.2f} "
+            f"{100 * r['overfit']:8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def per_category_table(
+    scores_by_team: Dict[str, List[Score]],
+    categories: Dict[str, str],
+) -> Dict[str, Dict[str, float]]:
+    """Mean test accuracy per (team, benchmark category).
+
+    ``categories`` maps benchmark name -> category.  This backs the
+    paper's qualitative per-category observations (arithmetic is hard
+    for learners, image comparisons favour forests, symmetric
+    functions favour matching/periodic models).
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for team, scores in scores_by_team.items():
+        buckets: Dict[str, List[float]] = {}
+        for s in scores:
+            cat = categories.get(s.benchmark, "unknown")
+            buckets.setdefault(cat, []).append(s.test_accuracy)
+        out[team] = {
+            cat: float(np.mean(vals)) for cat, vals in buckets.items()
+        }
+    return out
+
+
+@dataclass
+class ContestRun:
+    """Convenience bundle: every team's scores over a benchmark set."""
+
+    scores_by_team: Dict[str, List[Score]]
+
+    def table3(self) -> List[dict]:
+        return table3(self.scores_by_team)
+
+    def virtual_best(self) -> List[Score]:
+        return virtual_best(self.scores_by_team)
+
+    def win_rates(self) -> Dict[str, Dict[str, int]]:
+        return win_rates(self.scores_by_team)
+
+
+def run_contest(
+    benchmark_indices: Sequence[int],
+    flows: Dict[str, object],
+    n_train: int = 1000,
+    n_valid: int = 1000,
+    n_test: int = 1000,
+    effort: str = "small",
+    master_seed: int = 0,
+    verbose: bool = False,
+) -> ContestRun:
+    """Execute a set of flows over a benchmark subset and score them."""
+    from repro.contest import build_suite, evaluate_solution, make_problem
+
+    suite = build_suite()
+    scores_by_team: Dict[str, List[Score]] = {name: [] for name in flows}
+    for idx in benchmark_indices:
+        problem = make_problem(
+            suite[idx], n_train=n_train, n_valid=n_valid, n_test=n_test,
+            master_seed=master_seed,
+        )
+        for name, flow in flows.items():
+            solution = flow(problem, effort=effort, master_seed=master_seed)
+            score = evaluate_solution(problem, solution)
+            scores_by_team[name].append(score)
+            if verbose:
+                print(
+                    f"{problem.name} {name}: acc={score.test_accuracy:.3f} "
+                    f"ands={score.num_ands} [{solution.method}]"
+                )
+    return ContestRun(scores_by_team)

@@ -1,0 +1,15 @@
+"""Reduced Ordered Binary Decision Diagrams with don't-care
+minimization (Team 1's post-contest exploration).
+
+The appendix of the paper studies learning adders by building the BDD
+of the sampled ON-set and minimizing it against the care set: replace
+a node by a child when the other side is don't care (one-sided
+matching, Coudert-Madre ``restrict``), merge children compatible on
+the care set (two-sided matching), or merge with a complemented child
+(complemented two-sided matching).
+"""
+
+from repro.bdd.bdd import BDD
+from repro.bdd.dontcare import minimize_dontcare, restrict
+
+__all__ = ["BDD", "minimize_dontcare", "restrict"]

@@ -1,0 +1,19 @@
+"""Cartesian Genetic Programming (Team 9's bootstrapped flow).
+
+Single-row CGP with a (1+lambda) evolution strategy, the 1/5th-rule
+adaptive mutation rate, preferential selection of phenotypically
+larger individuals on fitness ties, optional mini-batch fitness, and
+population bootstrapping from an existing AIG (e.g. one produced by a
+decision tree or espresso).
+"""
+
+from repro.cgp.genome import AIG_FUNCTIONS, XAIG_FUNCTIONS, CGPGenome
+from repro.cgp.evolve import CGPEvolver, evolve_from_aig
+
+__all__ = [
+    "AIG_FUNCTIONS",
+    "XAIG_FUNCTIONS",
+    "CGPGenome",
+    "CGPEvolver",
+    "evolve_from_aig",
+]

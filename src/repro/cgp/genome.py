@@ -1,0 +1,309 @@
+"""CGP genome: a single row of two-input function nodes.
+
+Each node ``i`` is a 3-tuple ``(func, in0, in1)`` where the inputs may
+reference any primary input or any earlier node (feed-forward,
+single-line layout as in Team 9's write-up).  One extra output gene
+selects which node (or input) drives the primary output.
+
+Two function sets mirror Team 9's AIG / XAIG choice: the AIG set is
+ANDs with all fanin-inversion combinations plus OR/NAND/NOT; XAIG adds
+XOR and XNOR.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aig.aig import AIG, lit_not
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _f_and(a, b):
+    return a & b
+
+
+def _f_and_na(a, b):
+    return (a ^ _ONES) & b
+
+
+def _f_and_nb(a, b):
+    return a & (b ^ _ONES)
+
+
+def _f_nor(a, b):
+    return (a ^ _ONES) & (b ^ _ONES)
+
+
+def _f_or(a, b):
+    return a | b
+
+
+def _f_nand(a, b):
+    return (a & b) ^ _ONES
+
+
+def _f_not(a, b):
+    del b
+    return a ^ _ONES
+
+
+def _f_buf(a, b):
+    del b
+    return a
+
+
+def _f_xor(a, b):
+    return a ^ b
+
+
+def _f_xnor(a, b):
+    return (a ^ b) ^ _ONES
+
+
+AIG_FUNCTIONS: Tuple[str, ...] = (
+    "and", "and_na", "and_nb", "nor", "or", "nand", "not", "buf",
+)
+XAIG_FUNCTIONS: Tuple[str, ...] = AIG_FUNCTIONS + ("xor", "xnor")
+
+_IMPL: Dict[str, Callable] = {
+    "and": _f_and,
+    "and_na": _f_and_na,
+    "and_nb": _f_and_nb,
+    "nor": _f_nor,
+    "or": _f_or,
+    "nand": _f_nand,
+    "not": _f_not,
+    "buf": _f_buf,
+    "xor": _f_xor,
+    "xnor": _f_xnor,
+}
+
+
+class CGPGenome:
+    """Integer-encoded single-row CGP individual."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_nodes: int,
+        function_set: Sequence[str] = AIG_FUNCTIONS,
+        funcs: Optional[np.ndarray] = None,
+        in0: Optional[np.ndarray] = None,
+        in1: Optional[np.ndarray] = None,
+        output: int = 0,
+    ):
+        self.n_inputs = n_inputs
+        self.n_nodes = n_nodes
+        self.function_set = tuple(function_set)
+        self.funcs = funcs if funcs is not None else np.zeros(n_nodes, np.int64)
+        self.in0 = in0 if in0 is not None else np.zeros(n_nodes, np.int64)
+        self.in1 = in1 if in1 is not None else np.zeros(n_nodes, np.int64)
+        self.output = output
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random(
+        n_inputs: int,
+        n_nodes: int,
+        rng: np.random.Generator,
+        function_set: Sequence[str] = AIG_FUNCTIONS,
+    ) -> "CGPGenome":
+        g = CGPGenome(n_inputs, n_nodes, function_set)
+        g.funcs = rng.integers(0, len(function_set), size=n_nodes)
+        limits = n_inputs + np.arange(n_nodes)
+        g.in0 = rng.integers(0, limits)
+        g.in1 = rng.integers(0, limits)
+        g.output = int(rng.integers(0, n_inputs + n_nodes))
+        return g
+
+    def copy(self) -> "CGPGenome":
+        return CGPGenome(
+            self.n_inputs,
+            self.n_nodes,
+            self.function_set,
+            self.funcs.copy(),
+            self.in0.copy(),
+            self.in1.copy(),
+            self.output,
+        )
+
+    # ------------------------------------------------------------------
+    def active_nodes(self) -> List[int]:
+        """Node indices in the phenotype, in evaluation order."""
+        active = set()
+        stack = [self.output - self.n_inputs]
+        while stack:
+            node = stack.pop()
+            if node < 0 or node in active:
+                continue
+            active.add(node)
+            for ref in (self.in0[node], self.in1[node]):
+                stack.append(int(ref) - self.n_inputs)
+        return sorted(active)
+
+    def phenotype_size(self) -> int:
+        return len(self.active_nodes())
+
+    def evaluate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Bit-parallel evaluation; returns packed output row."""
+        n_words = packed_inputs.shape[1]
+        values: Dict[int, np.ndarray] = {
+            i: packed_inputs[i] for i in range(self.n_inputs)
+        }
+        for node in self.active_nodes():
+            fn = _IMPL[self.function_set[self.funcs[node]]]
+            a = values[int(self.in0[node])]
+            b = values[int(self.in1[node])]
+            values[self.n_inputs + node] = fn(a, b)
+        out = values.get(self.output)
+        if out is None:  # output points at an inactive index: constant 0
+            out = np.zeros(n_words, dtype=np.uint64)
+        return out
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        from repro.utils.bitops import pack_bits, unpack_bits
+
+        X = np.asarray(X, dtype=np.uint8)
+        packed = pack_bits(X)
+        out = self.evaluate_packed(packed)
+        return unpack_bits(out[None, :], X.shape[0])[:, 0]
+
+    # ------------------------------------------------------------------
+    def mutate(self, rate: float, rng: np.random.Generator) -> "CGPGenome":
+        """Point mutation: every gene flips with probability ``rate``.
+
+        At least one gene always flips (standard CGP practice — a
+        zero-change offspring wastes an evaluation), except at rate 0,
+        which is an explicit identity for tests.
+        """
+        child = self.copy()
+        n = self.n_nodes
+        flip_f = rng.random(n) < rate
+        child.funcs[flip_f] = rng.integers(
+            0, len(self.function_set), size=int(flip_f.sum())
+        )
+        limits = self.n_inputs + np.arange(n)
+        flip_0 = rng.random(n) < rate
+        child.in0[flip_0] = rng.integers(0, limits[flip_0])
+        flip_1 = rng.random(n) < rate
+        child.in1[flip_1] = rng.integers(0, limits[flip_1])
+        if rng.random() < rate:
+            child.output = int(rng.integers(0, self.n_inputs + n))
+        nothing_flipped = (
+            not flip_f.any() and not flip_0.any() and not flip_1.any()
+        )
+        if rate > 0 and nothing_flipped:
+            node = int(rng.integers(0, n))
+            which = rng.integers(0, 3)
+            if which == 0:
+                child.funcs[node] = rng.integers(0, len(self.function_set))
+            elif which == 1:
+                child.in0[node] = rng.integers(0, limits[node])
+            else:
+                child.in1[node] = rng.integers(0, limits[node])
+        return child
+
+    # ------------------------------------------------------------------
+    def to_aig(self) -> AIG:
+        """Compile the phenotype into an AIG."""
+        aig = AIG(self.n_inputs)
+        lits: Dict[int, int] = {
+            i: aig.input_lit(i) for i in range(self.n_inputs)
+        }
+        for node in self.active_nodes():
+            name = self.function_set[self.funcs[node]]
+            a = lits[int(self.in0[node])]
+            b = lits[int(self.in1[node])]
+            if name == "and":
+                lit = aig.add_and(a, b)
+            elif name == "and_na":
+                lit = aig.add_and(lit_not(a), b)
+            elif name == "and_nb":
+                lit = aig.add_and(a, lit_not(b))
+            elif name == "nor":
+                lit = aig.add_and(lit_not(a), lit_not(b))
+            elif name == "or":
+                lit = aig.add_or(a, b)
+            elif name == "nand":
+                lit = lit_not(aig.add_and(a, b))
+            elif name == "not":
+                lit = lit_not(a)
+            elif name == "buf":
+                lit = a
+            elif name == "xor":
+                lit = aig.add_xor(a, b)
+            elif name == "xnor":
+                lit = lit_not(aig.add_xor(a, b))
+            else:
+                raise ValueError(f"unknown function {name!r}")
+            lits[self.n_inputs + node] = lit
+        out = lits.get(self.output, 0)
+        aig.set_output(out)
+        return aig
+
+    @staticmethod
+    def from_aig(
+        aig: AIG,
+        n_nodes: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        function_set: Sequence[str] = AIG_FUNCTIONS,
+    ) -> "CGPGenome":
+        """Bootstrap a genome from an AIG (Team 9's initialization).
+
+        The AIG's used AND nodes occupy the genome prefix; remaining
+        node slots (``n_nodes`` defaults to twice the AIG size, per the
+        write-up) are randomized and non-functional.
+        """
+        compact = aig.extract_cone([aig.outputs[0]])
+        needed = compact.num_ands + 2  # room for output NOT / constants
+        if n_nodes is None:
+            n_nodes = max(2 * compact.num_ands, needed, 8)
+        if n_nodes < needed:
+            raise ValueError(f"need at least {needed} genome nodes")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        g = CGPGenome.random(compact.n_inputs, n_nodes, rng, function_set)
+        fs = list(function_set)
+        base = compact.n_inputs + 1
+        # AIG var -> CGP data index.
+        index_of = {0: 0}  # constant: approximated below
+        for i in range(compact.n_inputs):
+            index_of[1 + i] = i
+        for j in range(compact.num_ands):
+            f0, f1 = compact.fanins(base + j)
+            c0, c1 = f0 & 1, f1 & 1
+            name = {
+                (0, 0): "and", (1, 0): "and_na",
+                (0, 1): "and_nb", (1, 1): "nor",
+            }[(c0, c1)]
+            g.funcs[j] = fs.index(name)
+            g.in0[j] = index_of[f0 >> 1]
+            g.in1[j] = index_of[f1 >> 1]
+            index_of[base + j] = compact.n_inputs + j
+        out_lit = compact.outputs[0]
+        if out_lit >> 1 == 0:
+            # Constant output: const-0 as (x & ~x), negated for const-1.
+            slot = compact.num_ands
+            g.funcs[slot] = fs.index("and_na")
+            g.in0[slot] = 0
+            g.in1[slot] = 0
+            out_idx = compact.n_inputs + slot
+            if out_lit & 1:
+                g.funcs[slot + 1] = fs.index("not")
+                g.in0[slot + 1] = out_idx
+                g.in1[slot + 1] = 0
+                out_idx = compact.n_inputs + slot + 1
+            g.output = out_idx
+            return g
+        out_idx = index_of[out_lit >> 1]
+        if out_lit & 1:
+            slot = compact.num_ands
+            g.funcs[slot] = fs.index("not")
+            g.in0[slot] = out_idx
+            g.in1[slot] = 0
+            out_idx = compact.n_inputs + slot
+        g.output = out_idx
+        return g

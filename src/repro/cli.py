@@ -1,0 +1,103 @@
+"""Command-line interface.
+
+    python -m repro.cli run --benchmark 30 --flow team01
+    python -m repro.cli contest --benchmarks 0 30 74 --flows team01 team10
+    python -m repro.cli list
+
+Mirrors how a contest participant would drive the library: pick
+benchmarks, run flows, read the leaderboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis import format_table3, run_contest
+from repro.contest import build_suite, evaluate_solution, make_problem
+from repro.flows import ALL_FLOWS
+
+
+def _cmd_list(args) -> None:
+    suite = build_suite()
+    for spec in suite:
+        print(f"{spec.name}  [{spec.category:13s}] "
+              f"{spec.n_inputs:4d} inputs  {spec.description}")
+    del args
+
+
+def _cmd_run(args) -> None:
+    suite = build_suite()
+    problem = make_problem(
+        suite[args.benchmark], n_train=args.samples,
+        n_valid=args.samples, n_test=args.samples,
+        master_seed=args.seed,
+    )
+    flow = ALL_FLOWS[args.flow]
+    solution = flow(problem, effort=args.effort, master_seed=args.seed)
+    score = evaluate_solution(problem, solution)
+    print(f"benchmark: {problem.name} ({problem.category})")
+    print(f"method:    {solution.method}")
+    print(f"test acc:  {score.test_accuracy:.4f}")
+    print(f"ANDs:      {score.num_ands} (legal={score.legal})")
+    print(f"levels:    {score.levels}")
+    print(f"overfit:   {100 * score.overfit:.2f}%")
+    if args.out:
+        from repro.aig import write_aag
+
+        write_aag(solution.aig, args.out)
+        print(f"wrote {args.out}")
+
+
+def _cmd_contest(args) -> None:
+    flows = {name: ALL_FLOWS[name] for name in args.flows}
+    run = run_contest(
+        args.benchmarks, flows, n_train=args.samples,
+        n_valid=args.samples, n_test=args.samples,
+        effort=args.effort, master_seed=args.seed, verbose=True,
+    )
+    print()
+    print(format_table3(run.table3()))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 100 benchmarks")
+
+    run_p = sub.add_parser("run", help="run one flow on one benchmark")
+    run_p.add_argument("--benchmark", type=int, required=True)
+    run_p.add_argument("--flow", choices=sorted(ALL_FLOWS), required=True)
+    run_p.add_argument("--samples", type=int, default=1000)
+    run_p.add_argument("--effort", choices=("small", "full"),
+                       default="small")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", default=None,
+                       help="write the solution AIG (.aag) here")
+
+    contest_p = sub.add_parser("contest", help="run a mini contest")
+    contest_p.add_argument("--benchmarks", type=int, nargs="+",
+                           required=True)
+    contest_p.add_argument("--flows", nargs="+",
+                           choices=sorted(ALL_FLOWS),
+                           default=sorted(ALL_FLOWS))
+    contest_p.add_argument("--samples", type=int, default=400)
+    contest_p.add_argument("--effort", choices=("small", "full"),
+                           default="small")
+    contest_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list(args)
+    elif args.command == "run":
+        _cmd_run(args)
+    elif args.command == "contest":
+        _cmd_contest(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""The IWLS 2020 contest: benchmarks, problems and scoring.
+
+``suite`` builds the 100-benchmark set of Table I (with documented
+synthetic substitutions for the PicoJava / MCNC / MNIST / CIFAR
+assets); ``problem`` defines the train/validation/test triple handed
+to the team flows; ``evaluate`` scores solutions the way the contest
+did (test accuracy, 5000-AND cap, ties broken by size).
+"""
+
+from repro.contest.problem import LearningProblem, Solution
+from repro.contest.evaluate import Score, evaluate_solution
+from repro.contest.suite import (
+    BenchmarkSpec,
+    build_suite,
+    default_small_indices,
+    make_problem,
+)
+
+__all__ = [
+    "LearningProblem",
+    "Solution",
+    "Score",
+    "evaluate_solution",
+    "BenchmarkSpec",
+    "build_suite",
+    "default_small_indices",
+    "make_problem",
+]

@@ -1,0 +1,79 @@
+"""Contest scoring.
+
+"The score assigned to each participant was the average test accuracy
+over all the benchmarks with possible ties being broken by the circuit
+size." — plus the paper's Table III columns: average AND count,
+average level count, and the overfit gap (validation minus test
+accuracy)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
+from repro.ml.metrics import accuracy
+
+
+@dataclass
+class Score:
+    """Evaluation of one solution on one benchmark."""
+
+    benchmark: str
+    method: str
+    test_accuracy: float
+    valid_accuracy: float
+    train_accuracy: float
+    num_ands: int
+    levels: int
+    legal: bool
+
+    @property
+    def overfit(self) -> float:
+        """Generalization gap as the paper defines it (valid - test)."""
+        return self.valid_accuracy - self.test_accuracy
+
+
+def evaluate_solution(
+    problem: LearningProblem,
+    solution: Solution,
+    max_nodes: int = MAX_AND_NODES,
+) -> Score:
+    """Score a solution on all three sample sets."""
+    aig = solution.aig
+    if aig.n_inputs != problem.n_inputs:
+        raise ValueError(
+            f"solution has {aig.n_inputs} inputs, problem has "
+            f"{problem.n_inputs}"
+        )
+    if aig.num_outputs != 1:
+        raise ValueError("contest solutions are single-output")
+    test_pred = aig.simulate(problem.test.X)[:, 0]
+    valid_pred = aig.simulate(problem.valid.X)[:, 0]
+    train_pred = aig.simulate(problem.train.X)[:, 0]
+    return Score(
+        benchmark=problem.name,
+        method=solution.method,
+        test_accuracy=accuracy(problem.test.y, test_pred),
+        valid_accuracy=accuracy(problem.valid.y, valid_pred),
+        train_accuracy=accuracy(problem.train.y, train_pred),
+        num_ands=aig.num_ands,
+        levels=aig.depth(),
+        legal=solution.is_legal(max_nodes),
+    )
+
+
+def summarize(scores: Iterable[Score]) -> Dict[str, float]:
+    """Table III row for one team: averages over benchmarks."""
+    scores = list(scores)
+    if not scores:
+        raise ValueError("no scores to summarize")
+    return {
+        "test_accuracy": float(np.mean([s.test_accuracy for s in scores])),
+        "and_gates": float(np.mean([s.num_ands for s in scores])),
+        "levels": float(np.mean([s.levels for s in scores])),
+        "overfit": float(np.mean([s.overfit for s in scores])),
+        "legal_fraction": float(np.mean([s.legal for s in scores])),
+    }

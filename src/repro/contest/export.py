@@ -1,0 +1,64 @@
+"""Export the benchmark suite as contest-format PLA files.
+
+The organizers distributed each benchmark as ``exNN.train.pla``,
+``exNN.valid.pla`` and ``exNN.test.pla``; this module recreates that
+layout so downstream tools (or the original contest submissions) can
+consume our suite directly:
+
+    python -m repro.contest.export --out-dir ./iwls2020 \
+        --indices 0 30 74 --samples 6400
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.contest.suite import build_suite, make_problem
+from repro.twolevel.pla import write_pla
+
+
+def export_benchmarks(
+    out_dir: Path,
+    indices: Optional[Sequence[int]] = None,
+    samples: int = 6400,
+    master_seed: int = 0,
+) -> Iterable[Path]:
+    """Write the train/valid/test PLA triple per benchmark index."""
+    suite = build_suite()
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for idx in indices if indices is not None else range(100):
+        spec = suite[idx]
+        problem = make_problem(
+            spec, n_train=samples, n_valid=samples, n_test=samples,
+            master_seed=master_seed,
+        )
+        for split, data in (
+            ("train", problem.train),
+            ("valid", problem.valid),
+            ("test", problem.test),
+        ):
+            path = out_dir / f"{spec.name}.{split}.pla"
+            write_pla(data.to_pla(), path)
+            written.append(path)
+    return written
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", type=Path, required=True)
+    parser.add_argument("--indices", type=int, nargs="*", default=None)
+    parser.add_argument("--samples", type=int, default=6400)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    written = export_benchmarks(
+        args.out_dir, args.indices, args.samples, args.seed
+    )
+    print(f"wrote {len(list(written))} PLA files to {args.out_dir}")
+
+
+if __name__ == "__main__":
+    main()

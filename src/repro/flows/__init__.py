@@ -1,0 +1,74 @@
+"""The ten contest team flows plus the virtual-best portfolio.
+
+Each flow module exposes ``run(problem, effort="small", master_seed=0)
+-> Solution`` mirroring one team's end-to-end pipeline as described in
+the paper (overview section IV and the per-team appendices).  The
+``effort`` knob selects hyper-parameter grids: ``"small"`` keeps every
+flow laptop-fast for tests and default benches, ``"full"`` uses the
+paper's grids.
+
+``TECHNIQUES`` is the Fig. 1 matrix: which representation/technique
+each team used.
+"""
+
+from repro.flows import (
+    team01,
+    team02,
+    team03,
+    team04,
+    team05,
+    team06,
+    team07,
+    team08,
+    team09,
+    team10,
+)
+from repro.flows.portfolio import virtual_best
+
+ALL_FLOWS = {
+    "team01": team01.run,
+    "team02": team02.run,
+    "team03": team03.run,
+    "team04": team04.run,
+    "team05": team05.run,
+    "team06": team06.run,
+    "team07": team07.run,
+    "team08": team08.run,
+    "team09": team09.run,
+    "team10": team10.run,
+}
+
+# Fig. 1: techniques used by each team.
+TECHNIQUE_NAMES = (
+    "decision tree",
+    "random forest",
+    "boosting",
+    "rule learner",
+    "neural network",
+    "LUT network",
+    "ESPRESSO/SOP",
+    "function matching",
+    "feature selection",
+    "CGP",
+    "ensemble",
+    "approximation",
+)
+
+TECHNIQUES = {
+    "team01": {"random forest", "LUT network", "ESPRESSO/SOP",
+               "function matching", "approximation"},
+    "team02": {"decision tree", "rule learner"},
+    "team03": {"decision tree", "neural network", "ensemble"},
+    "team04": {"neural network", "feature selection", "boosting"},
+    "team05": {"decision tree", "random forest", "neural network",
+               "feature selection"},
+    "team06": {"LUT network"},
+    "team07": {"decision tree", "boosting", "function matching",
+               "feature selection"},
+    "team08": {"decision tree", "random forest", "neural network",
+               "ensemble"},
+    "team09": {"CGP", "decision tree", "ESPRESSO/SOP"},
+    "team10": {"decision tree"},
+}
+
+__all__ = ["ALL_FLOWS", "TECHNIQUES", "TECHNIQUE_NAMES", "virtual_best"]

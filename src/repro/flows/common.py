@@ -1,0 +1,86 @@
+"""Shared plumbing for the team flows."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aig.aig import AIG, CONST0, CONST1
+from repro.aig.approx import approximate_to_size
+from repro.aig.optimize import balance, compress
+from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
+from repro.ml.dataset import Dataset
+from repro.ml.metrics import accuracy
+from repro.utils.rng import rng_for
+
+
+def flow_rng(flow: str, problem: LearningProblem, master_seed: int,
+             *extra) -> np.random.Generator:
+    """Deterministic per-flow, per-benchmark RNG stream."""
+    return rng_for("flow", flow, problem.name, master_seed, *extra)
+
+
+def aig_accuracy(aig: AIG, data: Dataset) -> float:
+    """Accuracy of a single-output AIG on a dataset."""
+    return accuracy(data.y, aig.simulate(data.X)[:, 0])
+
+
+def constant_solution(problem: LearningProblem, method: str) -> Solution:
+    """Majority-constant fallback when nothing can be trained."""
+    aig = AIG(problem.n_inputs)
+    majority = problem.train.merge(problem.valid).onset_fraction() > 0.5
+    aig.set_output(CONST1 if majority else CONST0)
+    return Solution(aig=aig, method=f"{method}+const")
+
+
+def finalize_aig(
+    aig: AIG,
+    rng: np.random.Generator,
+    max_nodes: int = MAX_AND_NODES,
+    optimize: bool = True,
+    optimize_limit: int = 20000,
+) -> AIG:
+    """Post-process a candidate circuit the way the teams used ABC.
+
+    Garbage-collects, optimizes (skipping the expensive passes on very
+    large graphs), and applies Team 1-style approximation if the result
+    still exceeds the node cap.
+    """
+    aig = aig.extract_cone()
+    if optimize:
+        if aig.num_ands <= optimize_limit:
+            aig = compress(aig)
+        else:
+            aig = balance(aig)
+    if aig.num_ands > max_nodes:
+        aig = approximate_to_size(aig, max_ands=max_nodes, rng=rng)
+        if aig.num_ands <= optimize_limit:
+            aig = compress(aig)
+    return aig
+
+
+def pick_best(
+    candidates: Iterable[Tuple[str, AIG]],
+    data: Dataset,
+    max_nodes: int = MAX_AND_NODES,
+) -> Optional[Tuple[str, AIG, float]]:
+    """Best legal candidate by accuracy on ``data`` (ties: smaller).
+
+    Candidates over the node cap are only used if nothing legal exists.
+    """
+    best: Optional[Tuple[str, AIG, float]] = None
+    fallback: Optional[Tuple[str, AIG, float]] = None
+    for name, aig in candidates:
+        acc = aig_accuracy(aig, data)
+        entry = (name, aig, acc)
+        if aig.num_ands <= max_nodes:
+            if (
+                best is None
+                or acc > best[2]
+                or (acc == best[2] and aig.num_ands < best[1].num_ands)
+            ):
+                best = entry
+        elif fallback is None or acc > fallback[2]:
+            fallback = entry
+    return best if best is not None else fallback

@@ -1,0 +1,60 @@
+"""Virtual-best portfolio over the ten team flows.
+
+The paper's Fig. 2 Pareto analysis uses the per-benchmark best
+solution across teams ("virtual best").  ``virtual_best`` selects it
+from a set of already-evaluated scores; ``run`` executes a chosen
+subset of flows and keeps the winner by validation accuracy (the only
+fair selector a participant could have used).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.contest.evaluate import Score
+from repro.contest.problem import LearningProblem, Solution
+from repro.flows import common
+
+
+def virtual_best(scores_by_team: Dict[str, List[Score]]) -> List[Score]:
+    """Per-benchmark best test-accuracy score across teams.
+
+    Ties are broken by circuit size, like the contest ranking.
+    """
+    by_benchmark: Dict[str, List[Score]] = {}
+    for scores in scores_by_team.values():
+        for s in scores:
+            by_benchmark.setdefault(s.benchmark, []).append(s)
+    best: List[Score] = []
+    for name in sorted(by_benchmark):
+        entries = by_benchmark[name]
+        entries.sort(key=lambda s: (-s.test_accuracy, s.num_ands))
+        best.append(entries[0])
+    return best
+
+
+def run(
+    problem: LearningProblem,
+    effort: str = "small",
+    master_seed: int = 0,
+    flows: Optional[Sequence[str]] = None,
+) -> Solution:
+    """Run several team flows, keep the best by validation accuracy."""
+    from repro.flows import ALL_FLOWS
+
+    names = list(flows) if flows is not None else list(ALL_FLOWS)
+    candidates = []
+    solutions = {}
+    for name in names:
+        solution = ALL_FLOWS[name](problem, effort=effort,
+                                   master_seed=master_seed)
+        solutions[name] = solution
+        candidates.append((name, solution.aig))
+    best = common.pick_best(candidates, problem.valid)
+    name, aig, acc = best
+    chosen = solutions[name]
+    return Solution(
+        aig=aig,
+        method=f"portfolio:{chosen.method}",
+        metadata={"selected_flow": name, "valid_accuracy": acc},
+    )

@@ -1,0 +1,102 @@
+"""Team 2 (UFPel/UFRGS): J48 and PART via cross-validated selection.
+
+The WEKA pipeline: convert the PLA to a tabular dataset, run J48
+(C4.5) and PART with five confidence factors each, pick the winning
+classifier+CF by cross-validation, then tune the minimum-instances
+parameter (``-M``), train on train+validation merged and convert —
+J48 through a PLA (``j48topla``), PART through a priority network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contest.problem import LearningProblem, Solution
+from repro.flows.common import finalize_aig, flow_rng
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.metrics import cross_val_accuracy
+from repro.ml.rules import PartRuleLearner
+from repro.synth.from_sop import cover_to_aig
+from repro.synth.from_rules import rules_to_aig
+
+_PARAMS = {
+    "small": {
+        "confidence_factors": (0.01, 0.25),
+        "min_instances": (1, 3),
+        "cv_folds": 3,
+    },
+    "full": {
+        "confidence_factors": (0.001, 0.01, 0.1, 0.25, 0.5),
+        "min_instances": (1, 2, 3, 4, 5, 10),
+        "cv_folds": 10,
+    },
+}
+
+
+def _fit_j48(X, y, cf: float, min_inst: int) -> DecisionTree:
+    tree = DecisionTree(min_samples_leaf=max(1, min_inst))
+    tree.fit(X, y)
+    tree.prune(cf)
+    return tree
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    params = _PARAMS[effort]
+    rng = flow_rng("team02", problem, master_seed)
+    merged = problem.merged_train_valid()
+    X, y = merged.X, merged.y
+
+    # Step 1: pick classifier family and confidence factor by CV.
+    best = None  # (cv_acc, family, cf)
+    for cf in params["confidence_factors"]:
+        j48_cv = cross_val_accuracy(
+            lambda Xa, ya, Xb, cf=cf: _fit_j48(Xa, ya, cf, 2).predict(Xb),
+            X, y, params["cv_folds"], rng,
+        )
+        part_cv = cross_val_accuracy(
+            lambda Xa, ya, Xb, cf=cf: PartRuleLearner(
+                confidence_factor=cf
+            ).fit(Xa, ya).predict(Xb),
+            X, y, params["cv_folds"], rng,
+        )
+        for family, acc in (("j48", j48_cv), ("part", part_cv)):
+            if best is None or acc > best[0]:
+                best = (acc, family, cf)
+    _, family, cf = best
+
+    # Step 2: tune the minimum-instances parameter.
+    best_m = None  # (cv_acc, m)
+    for m in params["min_instances"]:
+        if family == "j48":
+            acc = cross_val_accuracy(
+                lambda Xa, ya, Xb, m=m: _fit_j48(Xa, ya, cf, m).predict(Xb),
+                X, y, params["cv_folds"], rng,
+            )
+        else:
+            acc = cross_val_accuracy(
+                lambda Xa, ya, Xb, m=m: PartRuleLearner(
+                    confidence_factor=cf, min_samples_leaf=max(1, m)
+                ).fit(Xa, ya).predict(Xb),
+                X, y, params["cv_folds"], rng,
+            )
+        if best_m is None or acc > best_m[0]:
+            best_m = (acc, m)
+    _, m = best_m
+
+    # Step 3: final training and conversion.
+    if family == "j48":
+        tree = _fit_j48(X, y, cf, m)
+        aig = cover_to_aig(tree.to_cover())
+        meta = {"family": "j48", "cf": cf, "min_instances": m,
+                "leaves": tree.num_leaves()}
+    else:
+        rules = PartRuleLearner(
+            confidence_factor=cf, min_samples_leaf=max(1, m)
+        ).fit(X, y)
+        aig = rules_to_aig(rules)
+        meta = {"family": "part", "cf": cf, "min_instances": m,
+                "rules": len(rules)}
+    aig = finalize_aig(aig, rng)
+    return Solution(aig=aig, method=f"team02:{family}", metadata=meta)

@@ -1,0 +1,68 @@
+"""Team 6 (TU Dresden): pure memorization LUT networks.
+
+Builds Chatterjee-style LUT networks over the training minterms,
+sweeping the four hyper-parameters the write-up lists — LUT arity,
+LUTs per layer, wiring scheme ('random set of inputs' vs 'unique but
+random set of inputs') and depth — and keeps the best validation
+configuration.  4-input LUTs gave the team the best average, which the
+ablation bench reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.aig.aig import AIG
+from repro.contest.problem import LearningProblem, Solution
+from repro.flows.common import (
+    constant_solution,
+    finalize_aig,
+    flow_rng,
+    pick_best,
+)
+from repro.ml.lutnet import LUTNetwork
+from repro.synth.from_lutnet import lutnet_to_aig
+
+_PARAMS = {
+    "small": {
+        "shapes": ((2, 32), (3, 64)),
+        "lut_sizes": (4,),
+        "schemes": ("random", "unique"),
+    },
+    "full": {
+        "shapes": ((2, 64), (3, 128), (4, 256), (6, 256)),
+        "lut_sizes": (2, 4, 6),
+        "schemes": ("random", "unique"),
+    },
+}
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    params = _PARAMS[effort]
+    rng = flow_rng("team06", problem, master_seed)
+    candidates: List[Tuple[str, AIG]] = []
+    for scheme in params["schemes"]:
+        for lut_size in params["lut_sizes"]:
+            for layers, width in params["shapes"]:
+                net = LUTNetwork(
+                    n_layers=layers,
+                    luts_per_layer=width,
+                    lut_size=lut_size,
+                    scheme=scheme,
+                    rng=rng,
+                )
+                net.fit(problem.train.X, problem.train.y)
+                aig = lutnet_to_aig(net)
+                aig = finalize_aig(aig, rng, optimize=aig.num_ands < 4000)
+                candidates.append(
+                    (f"lutnet[{scheme},k={lut_size},{layers}x{width}]", aig)
+                )
+    best = pick_best(candidates, problem.valid)
+    if best is None:
+        return constant_solution(problem, "team06")
+    name, aig, acc = best
+    return Solution(
+        aig=aig, method=f"team06:{name}", metadata={"valid_accuracy": acc}
+    )

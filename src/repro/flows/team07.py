@@ -1,0 +1,87 @@
+"""Team 7 (Wisconsin/IBM): function matching, else trees or XGBoost.
+
+Before any ML, the training data is checked against symmetric
+functions and pre-defined arithmetic patterns (the SHAP analysis in
+the appendix is how such patterns were found); a hit emits the exact
+custom AIG.  Otherwise 10-fold cross-validation decides between a
+single unlimited-depth decision tree and a gradient-boosted ensemble
+(125 trees, depth 5 at full effort); tree leaves become minimized SOP
+terms, boosted leaves are quantized to one bit and aggregated with the
+MAJ-5 network of Fig. 25.  Depth/round reductions kick in if the AIG
+busts the cap.
+"""
+
+from __future__ import annotations
+
+from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
+from repro.flows.common import aig_accuracy, finalize_aig, flow_rng
+from repro.ml.boosting import GradientBoostedTrees
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.metrics import cross_val_accuracy
+from repro.synth.from_boosted import boosted_to_aig
+from repro.synth.from_sop import cover_to_aig
+from repro.synth.matching import match_standard_function
+
+_PARAMS = {
+    "small": {"n_rounds": 40, "depth": 4, "cv_folds": 3},
+    "full": {"n_rounds": 125, "depth": 5, "cv_folds": 10},
+}
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    params = _PARAMS[effort]
+    rng = flow_rng("team07", problem, master_seed)
+    merged = problem.merged_train_valid()
+
+    match = match_standard_function(merged.X, merged.y)
+    if match is not None:
+        return Solution(
+            aig=match.aig.extract_cone(),
+            method="team07:match",
+            metadata={"matched": match.name},
+        )
+
+    X, y = problem.train.X, problem.train.y
+    dt_cv = cross_val_accuracy(
+        lambda Xa, ya, Xb: DecisionTree().fit(Xa, ya).predict(Xb),
+        X, y, params["cv_folds"], rng,
+    )
+    xgb_cv = cross_val_accuracy(
+        lambda Xa, ya, Xb: GradientBoostedTrees(
+            n_estimators=params["n_rounds"] // 2,
+            max_depth=params["depth"],
+        ).fit(Xa, ya).predict(Xb),
+        X, y, params["cv_folds"], rng,
+    )
+
+    if dt_cv >= xgb_cv:
+        tree = DecisionTree().fit(X, y)
+        aig = cover_to_aig(tree.to_cover())
+        # Cap handling: re-fit shallower trees until legal.
+        depth = 16
+        while aig.num_ands > MAX_AND_NODES and depth >= 4:
+            tree = DecisionTree(max_depth=depth).fit(X, y)
+            aig = cover_to_aig(tree.to_cover())
+            depth -= 4
+        family = "dt"
+    else:
+        rounds, depth = params["n_rounds"], params["depth"]
+        model = GradientBoostedTrees(
+            n_estimators=rounds, max_depth=depth
+        ).fit(X, y)
+        aig = boosted_to_aig(model)
+        while aig.num_ands > MAX_AND_NODES and rounds > 5:
+            rounds //= 2
+            model = GradientBoostedTrees(
+                n_estimators=rounds, max_depth=depth
+            ).fit(X, y)
+            aig = boosted_to_aig(model)
+        family = "xgb"
+    aig = finalize_aig(aig, rng)
+    return Solution(
+        aig=aig,
+        method=f"team07:{family}",
+        metadata={"dt_cv": dt_cv, "xgb_cv": xgb_cv},
+    )

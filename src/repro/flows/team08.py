@@ -1,0 +1,116 @@
+"""Team 8 (Cornell): bucket-of-models ensemble.
+
+Three model classes are trained independently — a C4.5-style tree
+augmented with functional decomposition when the information gain is
+weak, a 17-tree depth-8 random forest, and an MLP whose activation may
+be *sine* (periodic features; their parity-circuit rescue).  The MLP is
+synthesized by full truth-table enumeration, which restricts it to
+benchmarks with fewer than ~20 inputs.  The model with the best
+validation accuracy that stays under 5000 gates is submitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.aig.build import from_truth_table
+from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
+from repro.flows.common import (
+    constant_solution,
+    finalize_aig,
+    flow_rng,
+    pick_best,
+)
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.forest import RandomForest
+from repro.ml.mlp import MLP
+from repro.synth.from_forest import forest_to_aig
+from repro.synth.from_tree import tree_to_aig
+
+_PARAMS = {
+    "small": {
+        "taus": (0.01,),
+        "min_samples": (1, 8),
+        "forest_trees": 9,
+        "mlp_max_inputs": 16,
+        "mlp_epochs": 30,
+        "mlp_hidden": (24, 12),
+    },
+    "full": {
+        "taus": (0.005, 0.02, 0.05),
+        "min_samples": (1, 4, 8, 16),
+        "forest_trees": 17,
+        "mlp_max_inputs": 20,
+        "mlp_epochs": 80,
+        "mlp_hidden": (64, 32),
+    },
+}
+
+
+def _mlp_truth_table_aig(
+    problem, params, activation: str, rng
+) -> AIG:
+    """Train an MLP and synthesize it by exhaustive enumeration."""
+    n = problem.n_inputs
+    mlp = MLP(hidden_sizes=params["mlp_hidden"], activation=activation,
+              rng=rng)
+    mlp.fit(problem.train.X.astype(float), problem.train.y,
+            epochs=params["mlp_epochs"])
+    grid = np.zeros((1 << n, n), dtype=np.uint8)
+    for i in range(n):
+        grid[:, i] = (np.arange(1 << n) >> i) & 1
+    pred = mlp.predict(grid.astype(float))
+    table = 0
+    for m in np.nonzero(pred)[0]:
+        table |= 1 << int(m)
+    return from_truth_table(table, n)
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    params = _PARAMS[effort]
+    rng = flow_rng("team08", problem, master_seed)
+    X, y = problem.train.X, problem.train.y
+    candidates: List[Tuple[str, AIG]] = []
+
+    # Custom C4.5 with functional decomposition (grid over tau / N).
+    for tau in params["taus"]:
+        for min_samples in params["min_samples"]:
+            tree = DecisionTree(
+                min_samples_leaf=min_samples,
+                decomposition_tau=tau,
+                max_depth=12,
+            ).fit(X, y)
+            candidates.append(
+                (f"bdt[tau={tau},N={min_samples}]", tree_to_aig(tree))
+            )
+
+    forest = RandomForest(
+        n_trees=params["forest_trees"], max_depth=8, rng=rng
+    ).fit(X, y)
+    candidates.append((f"rf{params['forest_trees']}", forest_to_aig(forest)))
+
+    if problem.n_inputs <= params["mlp_max_inputs"]:
+        for activation in ("sine", "relu"):
+            candidates.append(
+                (
+                    f"mlp-{activation}",
+                    _mlp_truth_table_aig(problem, params, activation, rng),
+                )
+            )
+
+    finalized = [
+        (name, finalize_aig(aig, rng, max_nodes=MAX_AND_NODES))
+        for name, aig in candidates
+    ]
+    best = pick_best(finalized, problem.valid)
+    if best is None:
+        return constant_solution(problem, "team08")
+    name, aig, acc = best
+    return Solution(
+        aig=aig, method=f"team08:{name}", metadata={"valid_accuracy": acc}
+    )

@@ -1,0 +1,33 @@
+"""From-scratch machine-learning substrate.
+
+Every learner used by the ten contest teams is implemented here on
+numpy/scipy only: C4.5-style decision trees with confidence-factor
+pruning (WEKA J48 role), PART-style rule lists, random forests,
+XGBoost-style gradient boosting, MLPs with relu/sigmoid/sine
+activations and connection pruning, memorization LUT networks, feature
+selection (chi2 / F-score / mutual information / permutation
+importance) and a Shapley-value attribution estimator.
+"""
+
+from repro.ml.dataset import Dataset
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.forest import RandomForest
+from repro.ml.boosting import GradientBoostedTrees
+from repro.ml.rules import PartRuleLearner, RuleList
+from repro.ml.lutnet import LUTNetwork
+from repro.ml.mlp import MLP
+from repro.ml.metrics import accuracy, cross_val_accuracy, stratified_kfold
+
+__all__ = [
+    "Dataset",
+    "DecisionTree",
+    "RandomForest",
+    "GradientBoostedTrees",
+    "PartRuleLearner",
+    "RuleList",
+    "LUTNetwork",
+    "MLP",
+    "accuracy",
+    "cross_val_accuracy",
+    "stratified_kfold",
+]

@@ -1,0 +1,60 @@
+"""ARFF (Attribute-Relation File Format) conversion (Team 2).
+
+Team 2's first pipeline step "transforms the PLA file in an ARFF
+description to handle the WEKA tool".  We provide the same conversion
+for our datasets: binary attributes as nominal {0,1}, the label as a
+nominal class attribute, plus a reader for round-tripping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+
+PathLike = Union[str, Path]
+
+
+def write_arff(
+    dataset: Dataset, path: PathLike, relation: str = "iwls"
+) -> None:
+    """Write a dataset as a WEKA-style ARFF file."""
+    lines = [f"@RELATION {relation}", ""]
+    for i in range(dataset.n_inputs):
+        lines.append(f"@ATTRIBUTE x{i} {{0,1}}")
+    lines.append("@ATTRIBUTE class {0,1}")
+    lines.append("")
+    lines.append("@DATA")
+    for row, label in zip(dataset.X, dataset.y):
+        lines.append(",".join(str(int(v)) for v in row) + f",{int(label)}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_arff(path: PathLike) -> Dataset:
+    """Read a binary-attribute ARFF file back into a dataset."""
+    attributes = 0
+    rows = []
+    in_data = False
+    for raw in Path(path).read_text(encoding="ascii").splitlines():
+        line = raw.split("%", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("@ATTRIBUTE"):
+            attributes += 1
+        elif upper.startswith("@DATA"):
+            in_data = True
+        elif in_data:
+            values = [int(v) for v in line.split(",")]
+            if len(values) != attributes:
+                raise ValueError(
+                    f"row has {len(values)} values, expected {attributes}"
+                )
+            rows.append(values)
+    if attributes < 2:
+        raise ValueError("ARFF file needs at least one input and a class")
+    data = np.array(rows, dtype=np.uint8)
+    return Dataset(data[:, :-1], data[:, -1])

@@ -1,0 +1,186 @@
+"""Second-order gradient boosting of regression trees (XGBoost role).
+
+Team 7's non-matching path trains "an extreme gradient boosting of 125
+trees with a maximum depth of five" and then quantizes each leaf to one
+bit so the ensemble becomes a majority vote realizable with MAJ-5
+gates.  This module implements the Chen & Guestrin formulation for
+binary logistic loss on binary features: per-split gain
+
+    gain = 1/2 * [GL^2/(HL+lam) + GR^2/(HR+lam) - G^2/(H+lam)] - gamma
+
+with leaf weight ``-G/(H+lam)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _RegNode:
+    feature: int = -1
+    left: int = -1
+    right: int = -1
+    weight: float = 0.0
+    is_leaf: bool = True
+
+
+class _RegressionTree:
+    """Depth-limited tree fit to (gradient, hessian) statistics."""
+
+    def __init__(self, max_depth: int, reg_lambda: float, gamma: float,
+                 min_child_weight: float):
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.nodes: List[_RegNode] = []
+
+    def fit(self, X, grad, hess):
+        self.nodes = []
+        self._grow(X, grad, hess, np.arange(X.shape[0]), 0)
+        return self
+
+    def _grow(self, X, grad, hess, idx, depth) -> int:
+        node_id = len(self.nodes)
+        g = float(grad[idx].sum())
+        h = float(hess[idx].sum())
+        node = _RegNode(weight=-g / (h + self.reg_lambda))
+        self.nodes.append(node)
+        if depth >= self.max_depth or idx.size < 2:
+            return node_id
+        feature, gain = self._best_split(X, grad, hess, idx, g, h)
+        if feature is None or gain <= 0:
+            return node_id
+        mask = X[idx, feature] == 1
+        left_idx, right_idx = idx[~mask], idx[mask]
+        node.feature = feature
+        node.is_leaf = False
+        node.left = self._grow(X, grad, hess, left_idx, depth + 1)
+        node.right = self._grow(X, grad, hess, right_idx, depth + 1)
+        return node_id
+
+    def _best_split(self, X, grad, hess, idx, g, h) -> Tuple[Optional[int], float]:
+        Xn = X[idx].astype(np.float64)
+        gn = grad[idx]
+        hn = hess[idx]
+        g_right = gn @ Xn            # sum of grads where feature = 1
+        h_right = hn @ Xn
+        g_left = g - g_right
+        h_left = h - h_right
+        lam = self.reg_lambda
+        parent = g * g / (h + lam)
+        gains = 0.5 * (
+            g_left**2 / (h_left + lam)
+            + g_right**2 / (h_right + lam)
+            - parent
+        ) - self.gamma
+        bad = (
+            (h_left < self.min_child_weight)
+            | (h_right < self.min_child_weight)
+        )
+        gains = np.where(bad, -np.inf, gains)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]):
+            return None, 0.0
+        return best, float(gains[best])
+
+    def predict(self, X) -> np.ndarray:
+        out = np.zeros(X.shape[0], dtype=np.float64)
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node_id, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                out[idx] = node.weight
+                continue
+            mask = X[idx, node.feature] == 1
+            stack.append((node.left, idx[~mask]))
+            stack.append((node.right, idx[mask]))
+        return out
+
+
+class GradientBoostedTrees:
+    """Boosted ensemble with logistic loss on binary features."""
+
+    def __init__(
+        self,
+        n_estimators: int = 125,
+        max_depth: int = 5,
+        learning_rate: float = 0.3,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        min_child_weight: float = 1e-3,
+        base_score: float = 0.5,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.base_score = base_score
+        self.trees: List[_RegressionTree] = []
+        self.base_margin = float(np.log(base_score / (1 - base_score)))
+        self.n_inputs: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        X = np.asarray(X, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        self.n_inputs = X.shape[1]
+        self.trees = []
+        margin = np.full(X.shape[0], self.base_margin)
+        for _ in range(self.n_estimators):
+            p = 1.0 / (1.0 + np.exp(-margin))
+            grad = p - y
+            hess = p * (1.0 - p)
+            tree = _RegressionTree(
+                self.max_depth, self.reg_lambda, self.gamma,
+                self.min_child_weight,
+            )
+            tree.fit(X, grad, hess)
+            step = tree.predict(X)
+            if not np.any(step):
+                break
+            margin = margin + self.learning_rate * step
+            self.trees.append(tree)
+        return self
+
+    def decision_margin(self, X: np.ndarray) -> np.ndarray:
+        """Raw log-odds margin (sum of leaf values + base)."""
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[None, :]
+        margin = np.full(X.shape[0], self.base_margin)
+        for tree in self.trees:
+            margin += self.learning_rate * tree.predict(X)
+        return margin
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_margin(X) > 0).astype(np.uint8)
+
+    def leaf_bits(self, X: np.ndarray) -> np.ndarray:
+        """One quantized bit per tree (Team 7's leaf quantization).
+
+        A tree votes 1 when the leaf it routes the sample to has a
+        positive weight.  Shape ``(n_samples, n_trees)``.
+        """
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[None, :]
+        out = np.zeros((X.shape[0], len(self.trees)), dtype=np.uint8)
+        for t, tree in enumerate(self.trees):
+            out[:, t] = (tree.predict(X) > 0).astype(np.uint8)
+        return out
+
+    def predict_quantized(self, X: np.ndarray) -> np.ndarray:
+        """Majority vote over quantized per-tree bits."""
+        bits = self.leaf_bits(X)
+        if bits.shape[1] == 0:
+            return np.full(X.shape[0], int(self.base_margin > 0), np.uint8)
+        return (bits.sum(axis=1) * 2 >= bits.shape[1]).astype(np.uint8)

@@ -1,0 +1,355 @@
+"""C4.5-style decision trees on binary features.
+
+This single implementation covers the roles the contest teams filled
+with WEKA's J48 (Team 2), scikit-learn's CART (Teams 5 and 10) and two
+custom C4.5 variants (Teams 3 and 8):
+
+* information-gain or gini splitting on 0/1 features;
+* depth / minimum-samples stopping (`max_depth`, `min_samples_leaf`);
+* C4.5 *confidence-factor* (pessimistic error) subtree pruning, the
+  knob Team 2 sweeps over {0.001, 0.01, 0.1, 0.25, 0.5};
+* Team 8's *functional decomposition* fallback: when the best mutual
+  information is below a threshold ``tau``, split instead on a feature
+  for which one branch looks constant or one branch looks like the
+  complement of the other (checked aggressively: assumed true until a
+  counterexample is found, picking the last satisfying feature, as in
+  their contest implementation).
+
+Trees expose their structure (`nodes` array) so the synthesis bridges
+can turn them into MUX-tree AIGs or path covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.twolevel.cover import Cover
+from repro.twolevel.cube import Cube
+
+_EPS = 1e-12
+
+
+def entropy(pos: np.ndarray, total: np.ndarray) -> np.ndarray:
+    """Binary entropy of ``pos`` successes out of ``total`` (vectorized)."""
+    total = np.maximum(total, _EPS)
+    p = np.clip(pos / total, _EPS, 1 - _EPS)
+    return -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+
+
+def gini(pos: np.ndarray, total: np.ndarray) -> np.ndarray:
+    """Gini impurity (vectorized)."""
+    total = np.maximum(total, _EPS)
+    p = pos / total
+    return 2 * p * (1 - p)
+
+
+@dataclass
+class TreeNode:
+    """One node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    left: int = -1   # child when feature value is 0
+    right: int = -1  # child when feature value is 1
+    value: int = 0   # majority label (used when leaf)
+    n_samples: int = 0
+    n_errors: int = 0  # training errors if this node were a leaf
+    is_leaf: bool = True
+
+
+class DecisionTree:
+    """Binary-feature classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; ``None`` grows until purity (Team 7's "unlimited").
+    min_samples_leaf:
+        Minimum samples to keep splitting (WEKA's ``-M``).
+    criterion:
+        ``"entropy"`` (C4.5/J48) or ``"gini"`` (CART).
+    min_gain:
+        Minimum impurity gain to accept a split.
+    decomposition_tau:
+        When set, enables Team 8's functional-decomposition fallback
+        for splits whose best gain is below this threshold.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        criterion: str = "entropy",
+        min_gain: float = 1e-9,
+        decomposition_tau: Optional[float] = None,
+    ):
+        if criterion not in ("entropy", "gini"):
+            raise ValueError(f"unknown criterion {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.criterion = criterion
+        self.min_gain = min_gain
+        self.decomposition_tau = decomposition_tau
+        self.nodes: List[TreeNode] = []
+        self.n_inputs: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.uint8).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X/y length mismatch")
+        self.n_inputs = X.shape[1]
+        self.nodes = []
+        self._grow(X, y, np.arange(X.shape[0]), depth=0, banned=0)
+        return self
+
+    def _impurity(self, pos, total):
+        fn = entropy if self.criterion == "entropy" else gini
+        return fn(pos, total)
+
+    def _grow(self, X, y, idx, depth, banned) -> int:
+        """Grow a subtree over ``idx``; returns its node index.
+
+        ``banned`` is a bitmask of features already used on this path
+        (re-splitting a binary feature is useless).
+        """
+        node_id = len(self.nodes)
+        y_here = y[idx]
+        n = len(idx)
+        n_pos = int(y_here.sum())
+        value = 1 if 2 * n_pos > n else 0
+        node = TreeNode(
+            value=value,
+            n_samples=n,
+            n_errors=min(n_pos, n - n_pos),
+        )
+        self.nodes.append(node)
+        if (
+            n_pos == 0
+            or n_pos == n
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or n < max(2, 2 * self.min_samples_leaf)
+        ):
+            return node_id
+        feature, gain = self._best_split(X, y, idx, banned)
+        if feature is None:
+            return node_id
+        use_decomposition = (
+            self.decomposition_tau is not None
+            and gain < self.decomposition_tau
+        )
+        if use_decomposition:
+            alt = self._decomposition_split(X, y, idx, banned)
+            if alt is not None:
+                feature = alt
+        elif gain < self.min_gain:
+            return node_id
+        mask = X[idx, feature] == 1
+        idx_left = idx[~mask]
+        idx_right = idx[mask]
+        if (
+            len(idx_left) < self.min_samples_leaf
+            or len(idx_right) < self.min_samples_leaf
+        ):
+            return node_id
+        node.feature = feature
+        node.is_leaf = False
+        new_banned = banned | (1 << feature)
+        node.left = self._grow(X, y, idx_left, depth + 1, new_banned)
+        node.right = self._grow(X, y, idx_right, depth + 1, new_banned)
+        return node_id
+
+    def _best_split(self, X, y, idx, banned) -> Tuple[Optional[int], float]:
+        """Highest-gain feature over the node's samples (vectorized)."""
+        Xn = X[idx]
+        yn = y[idx]
+        n = len(idx)
+        ones = Xn.sum(axis=0).astype(np.float64)          # count x=1
+        pos_ones = Xn[yn == 1].sum(axis=0).astype(np.float64)
+        n_pos = float(yn.sum())
+        zeros = n - ones
+        pos_zeros = n_pos - pos_ones
+        parent = self._impurity(np.array(n_pos), np.array(float(n)))
+        child = (
+            ones / n * self._impurity(pos_ones, ones)
+            + zeros / n * self._impurity(pos_zeros, zeros)
+        )
+        gains = parent - child
+        # A split is useless if one side is empty or the feature was
+        # already used on this path.
+        gains = np.where((ones == 0) | (zeros == 0), -np.inf, gains)
+        if banned:
+            banned_idx = [
+                i for i in range(X.shape[1]) if banned & (1 << i)
+            ]
+            gains[banned_idx] = -np.inf
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]):
+            return None, 0.0
+        return best, float(gains[best])
+
+    def _decomposition_split(self, X, y, idx, banned) -> Optional[int]:
+        """Team 8's fallback: constant branch or complement branches.
+
+        Checked aggressively (complement assumed until a counterexample
+        is seen) and picking the *last* satisfying feature, both
+        matching the behaviour their write-up describes.
+        """
+        Xn = X[idx]
+        yn = y[idx]
+        chosen = None
+        for feature in range(X.shape[1]):
+            if banned & (1 << feature):
+                continue
+            mask = Xn[:, feature] == 1
+            y0, y1 = yn[~mask], yn[mask]
+            if len(y0) == 0 or len(y1) == 0:
+                continue
+            constant = (
+                y0.min() == y0.max() or y1.min() == y1.max()
+            )
+            complement = self._looks_complement(Xn, yn, feature, mask)
+            if constant or complement:
+                chosen = feature
+        return chosen
+
+    @staticmethod
+    def _looks_complement(Xn, yn, feature, mask) -> bool:
+        """True unless a counterexample to branch-complementarity exists.
+
+        Two samples that agree on every feature except ``feature``
+        must have opposite labels for the branches to be complements.
+        """
+        other_cols = [c for c in range(Xn.shape[1]) if c != feature]
+        seen = {}
+        for row, label in zip(Xn, yn):
+            key = row[other_cols].tobytes()
+            side = row[feature]
+            prev = seen.get(key)
+            if prev is None:
+                seen[key] = (int(side), int(label))
+            else:
+                prev_side, prev_label = prev
+                if prev_side != side and prev_label == label:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # C4.5 confidence-factor pruning
+    # ------------------------------------------------------------------
+    def prune(self, confidence_factor: float = 0.25) -> "DecisionTree":
+        """Pessimistic-error subtree replacement (J48's ``-C``).
+
+        Smaller confidence factors prune more aggressively.
+        """
+        if not self.nodes:
+            return self
+        self._prune_rec(0, confidence_factor)
+        return self
+
+    def _prune_rec(self, node_id: int, cf: float) -> float:
+        """Returns the estimated error count of the (pruned) subtree."""
+        node = self.nodes[node_id]
+        leaf_error = _pessimistic_errors(node.n_samples, node.n_errors, cf)
+        if node.is_leaf:
+            return leaf_error
+        subtree_error = self._prune_rec(node.left, cf) + self._prune_rec(
+            node.right, cf
+        )
+        if leaf_error <= subtree_error + 0.1:
+            node.is_leaf = True
+            node.feature = -1
+            node.left = -1
+            node.right = -1
+            return leaf_error
+        return subtree_error
+
+    # ------------------------------------------------------------------
+    # Prediction and export
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[None, :]
+        out = np.zeros(X.shape[0], dtype=np.uint8)
+        # Route sample groups down the tree iteratively.
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node_id, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            mask = X[idx, node.feature] == 1
+            stack.append((node.left, idx[~mask]))
+            stack.append((node.right, idx[mask]))
+        return out
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf edge count."""
+        if not self.nodes:
+            return 0
+
+        def rec(node_id):
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                return 0
+            return 1 + max(rec(node.left), rec(node.right))
+
+        return rec(0)
+
+    def num_leaves(self) -> int:
+        """Count of leaves reachable from the root (after pruning)."""
+        count = 0
+        stack = [0] if self.nodes else []
+        while stack:
+            node = self.nodes[stack.pop()]
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return count
+
+    def to_cover(self) -> Cover:
+        """Cover of root-to-leaf paths ending in a 1-leaf (DT -> PLA).
+
+        This is exactly Team 2's ``j48topla`` conversion.
+        """
+        if self.n_inputs is None:
+            raise RuntimeError("tree is not fitted")
+        cubes: List[Cube] = []
+
+        def rec(node_id: int, path: List[Tuple[int, int]]):
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                if node.value == 1:
+                    cubes.append(Cube.from_literals(path))
+                return
+            rec(node.left, path + [(node.feature, 0)])
+            rec(node.right, path + [(node.feature, 1)])
+
+        rec(0, [])
+        return Cover(self.n_inputs, cubes)
+
+
+def _pessimistic_errors(n: int, errors: int, cf: float) -> float:
+    """C4.5 upper confidence bound on errors at a node.
+
+    Uses the Clopper-Pearson upper bound on the binomial error rate at
+    confidence level ``cf`` (J48's ``CF`` parameter), scaled by ``n``.
+    """
+    if n == 0:
+        return 0.0
+    if errors >= n:
+        return float(n)
+    upper = stats.beta.ppf(1 - cf, errors + 1, n - errors)
+    return float(n * upper)

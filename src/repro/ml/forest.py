@@ -1,0 +1,88 @@
+"""Random forests of binary decision trees.
+
+The contest teams used forests with a plain majority vote (not
+probability averaging) because a majority gate is cheap in an AIG:
+Team 8 used 17 trees of depth 8, Team 5 used 3 trees to stay inside
+the 5000-gate cap.  Each tree sees a bootstrap sample and a random
+feature subset, per Breiman.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.decision_tree import DecisionTree
+
+
+class RandomForest:
+    """Bagged decision trees with majority voting."""
+
+    def __init__(
+        self,
+        n_trees: int = 17,
+        max_depth: Optional[int] = 8,
+        min_samples_leaf: int = 1,
+        feature_fraction: Optional[float] = None,
+        bootstrap: bool = True,
+        criterion: str = "entropy",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_trees % 2 == 0:
+            raise ValueError("use an odd tree count so the vote cannot tie")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.feature_fraction = feature_fraction
+        self.bootstrap = bootstrap
+        self.criterion = criterion
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.trees: List[DecisionTree] = []
+        self.feature_subsets: List[np.ndarray] = []
+        self.n_inputs: Optional[int] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.asarray(X, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.uint8).ravel()
+        self.n_inputs = X.shape[1]
+        self.trees = []
+        self.feature_subsets = []
+        n = X.shape[0]
+        n_features = X.shape[1]
+        if self.feature_fraction is None:
+            k = max(1, int(round(np.sqrt(n_features))))
+        else:
+            k = max(1, int(round(self.feature_fraction * n_features)))
+        for _ in range(self.n_trees):
+            if self.bootstrap:
+                idx = self.rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            cols = np.sort(
+                self.rng.choice(n_features, size=min(k, n_features),
+                                replace=False)
+            )
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                criterion=self.criterion,
+            )
+            tree.fit(X[np.ix_(idx, cols)], y[idx])
+            self.trees.append(tree)
+            self.feature_subsets.append(cols)
+        return self
+
+    def votes(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_samples, n_trees)``."""
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[None, :]
+        out = np.zeros((X.shape[0], self.n_trees), dtype=np.uint8)
+        for t, (tree, cols) in enumerate(zip(self.trees, self.feature_subsets)):
+            out[:, t] = tree.predict(X[:, cols])
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        votes = self.votes(X)
+        return (votes.sum(axis=1) * 2 > self.n_trees).astype(np.uint8)

@@ -1,0 +1,22 @@
+"""Random forest -> voter AIG (per-tree MUX trees + wide majority)."""
+
+from __future__ import annotations
+
+from repro.aig.aig import AIG
+from repro.aig.build import majority_n
+from repro.ml.forest import RandomForest
+from repro.synth.from_tree import tree_output_lit
+
+
+def forest_to_aig(forest: RandomForest) -> AIG:
+    """Compile each tree, then vote with a ones-counter majority."""
+    if forest.n_inputs is None:
+        raise RuntimeError("forest is not fitted")
+    aig = AIG(forest.n_inputs)
+    inputs = aig.input_lits()
+    votes = []
+    for tree, cols in zip(forest.trees, forest.feature_subsets):
+        feature_lits = [inputs[c] for c in cols]
+        votes.append(tree_output_lit(tree, aig, feature_lits))
+    aig.set_output(majority_n(aig, votes))
+    return aig

@@ -1,0 +1,29 @@
+"""Memorization LUT network -> AIG (Teams 1 and 6)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aig.aig import AIG
+from repro.aig.build import lut
+from repro.ml.lutnet import LUTNetwork
+
+
+def lutnet_to_aig(model: LUTNetwork) -> AIG:
+    """Realize every LUT cell over its fanin literals, layer by layer."""
+    if model.n_inputs is None:
+        raise RuntimeError("LUT network is not fitted")
+    aig = AIG(model.n_inputs)
+    prev: List[int] = aig.input_lits()
+    for conns, tables in zip(model.connections, model.tables):
+        new: List[int] = []
+        for j in range(conns.shape[0]):
+            table = 0
+            for pattern, bit in enumerate(tables[j]):
+                if bit:
+                    table |= 1 << pattern
+            leaves = [prev[i] for i in conns[j]]
+            new.append(lut(aig, table, leaves))
+        prev = new
+    aig.set_output(prev[0])
+    return aig

@@ -1,0 +1,27 @@
+"""PART rule list -> priority network AIG (the paper's Fig. 10).
+
+Rules are evaluated in order, first match wins; the circuit chains
+2:1 multiplexers from the last rule (default) back to the first.
+"""
+
+from __future__ import annotations
+
+from repro.aig.aig import AIG, CONST0, CONST1, lit_not
+from repro.ml.rules import RuleList
+
+
+def rules_to_aig(rule_list: RuleList) -> AIG:
+    aig = AIG(rule_list.n_inputs)
+    inputs = aig.input_lits()
+    out = CONST1 if rule_list.default else CONST0
+    for rule in reversed(rule_list.rules):
+        match = aig.add_and_multi(
+            [
+                inputs[feature] if value else lit_not(inputs[feature])
+                for feature, value in rule.literals
+            ]
+        )
+        label = CONST1 if rule.label else CONST0
+        out = aig.add_mux(match, label, out)
+    aig.set_output(out)
+    return aig

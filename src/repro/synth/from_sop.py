@@ -1,0 +1,16 @@
+"""SOP cover -> AIG."""
+
+from __future__ import annotations
+
+from repro.aig.aig import AIG
+from repro.aig.build import sop_over_leaves
+from repro.twolevel.cover import Cover
+
+
+def cover_to_aig(cover: Cover) -> AIG:
+    """AND/OR network computing the cover (inputs in cube bit order)."""
+    aig = AIG(cover.n_inputs)
+    cubes = [tuple(cube.literals()) for cube in cover]
+    out = sop_over_leaves(aig, cubes, aig.input_lits())
+    aig.set_output(out)
+    return aig

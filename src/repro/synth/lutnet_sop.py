@@ -1,0 +1,110 @@
+"""LUT network -> flat SOP cover (Team 6's sympy step).
+
+Team 6 "convert[s] the network into an SOP form using [the] sympy
+package ... from reverse topological order starting from the outputs
+back to the inputs".  We implement the same flattening symbolically on
+our own cover algebra: every LUT cell keeps a cover for each polarity
+of its function over *primary inputs*, built by composing its local
+ISOP with the fanin covers (AND of cubes = cube intersection when
+compatible).  Cube counts are capped so pathological networks fail
+loudly instead of exploding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.aig.isop import full_mask, isop
+from repro.ml.lutnet import LUTNetwork
+from repro.twolevel.cover import Cover
+from repro.twolevel.cube import Cube
+
+
+class SopExplosion(RuntimeError):
+    """Raised when flattening exceeds the cube budget."""
+
+
+def _cube_and(a: Cube, b: Cube) -> Optional[Cube]:
+    """Intersection of two cubes, or None if they conflict."""
+    if (a.value ^ b.value) & (a.mask & b.mask):
+        return None
+    return Cube(a.mask | b.mask, a.value | b.value)
+
+
+def _compose(
+    local_cover,
+    fanin_pos: List[List[Cube]],
+    fanin_neg: List[List[Cube]],
+    max_cubes: int,
+) -> List[Cube]:
+    """Substitute fanin covers into a local cover over LUT inputs."""
+    out: List[Cube] = []
+    for cube in local_cover:
+        partial: List[Cube] = [Cube.full()]
+        for var, value in cube:
+            source = fanin_pos[var] if value else fanin_neg[var]
+            new_partial: List[Cube] = []
+            for p in partial:
+                for q in source:
+                    merged = _cube_and(p, q)
+                    if merged is not None:
+                        new_partial.append(merged)
+                if len(new_partial) > max_cubes:
+                    raise SopExplosion(
+                        f"cube budget {max_cubes} exceeded"
+                    )
+            partial = new_partial
+            if not partial:
+                break
+        out.extend(partial)
+        if len(out) > max_cubes:
+            raise SopExplosion(f"cube budget {max_cubes} exceeded")
+    return out
+
+
+def lutnet_to_cover(
+    net: LUTNetwork, max_cubes: int = 20000
+) -> Cover:
+    """Flatten a fitted LUT network into a single-output SOP cover.
+
+    Raises :class:`SopExplosion` when intermediate covers exceed
+    ``max_cubes`` (flat two-level forms of deep networks can be
+    exponentially large — the reason Team 6's flow was limited to
+    modest network shapes).
+    """
+    if net.n_inputs is None:
+        raise RuntimeError("LUT network is not fitted")
+    k = net.lut_size
+    fm = full_mask(k)
+    # Per layer: positive and negative covers per cell, over primary
+    # inputs.  Layer 0's "previous" cells are the inputs themselves.
+    pos: List[List[Cube]] = [
+        [Cube.from_literals([(i, 1)])] for i in range(net.n_inputs)
+    ]
+    neg: List[List[Cube]] = [
+        [Cube.from_literals([(i, 0)])] for i in range(net.n_inputs)
+    ]
+    for conns, tables in zip(net.connections, net.tables):
+        new_pos: List[List[Cube]] = []
+        new_neg: List[List[Cube]] = []
+        for j in range(conns.shape[0]):
+            table = 0
+            for pattern, bit in enumerate(tables[j]):
+                if bit:
+                    table |= 1 << pattern
+            fanin_pos = [pos[i] for i in conns[j]]
+            fanin_neg = [neg[i] for i in conns[j]]
+            cover_pos, _ = isop(table, table, k)
+            cover_neg, _ = isop(~table & fm, ~table & fm, k)
+            flat_pos = _compose(cover_pos, fanin_pos, fanin_neg,
+                                max_cubes)
+            flat_neg = _compose(cover_neg, fanin_pos, fanin_neg,
+                                max_cubes)
+            new_pos.append(
+                Cover(net.n_inputs, flat_pos).remove_contained().cubes
+            )
+            new_neg.append(
+                Cover(net.n_inputs, flat_neg).remove_contained().cubes
+            )
+        pos, neg = new_pos, new_neg
+    return Cover(net.n_inputs, pos[0])

@@ -1,0 +1,63 @@
+"""Noisy-symmetric learning via a popcount side circuit (Team 7).
+
+"[A symmetric function] can be implemented by adding a side circuit
+that counts N1, i.e., the number of ones in the input bits, and a
+decision tree that learns the relationship between N1 and the original
+output."  Unlike the exact symmetric matcher, this works when the data
+is *approximately* symmetric (noisy labels): the tree learns a
+threshold structure over the popcount bits and tolerates
+inconsistencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.aig.build import ones_counter
+from repro.ml.decision_tree import DecisionTree
+from repro.synth.from_tree import tree_output_lit
+
+
+class PopcountTreeClassifier:
+    """Decision tree over the binary digits of the input popcount."""
+
+    def __init__(self, max_depth: Optional[int] = 6):
+        self.max_depth = max_depth
+        self.tree: Optional[DecisionTree] = None
+        self.n_inputs: Optional[int] = None
+        self._count_bits: Optional[int] = None
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        counts = np.asarray(X, dtype=np.uint8).sum(axis=1).astype(np.int64)
+        bits = np.zeros((X.shape[0], self._count_bits), dtype=np.uint8)
+        for i in range(self._count_bits):
+            bits[:, i] = (counts >> i) & 1
+        return bits
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PopcountTreeClassifier":
+        X = np.asarray(X, dtype=np.uint8)
+        self.n_inputs = X.shape[1]
+        self._count_bits = max(1, int(np.ceil(np.log2(X.shape[1] + 1))))
+        self.tree = DecisionTree(max_depth=self.max_depth)
+        self.tree.fit(self._features(X), np.asarray(y, dtype=np.uint8))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.tree is None:
+            raise RuntimeError("classifier is not fitted")
+        return self.tree.predict(self._features(X))
+
+    def to_aig(self) -> AIG:
+        """Ones-counter side circuit feeding the tree's MUX network."""
+        if self.tree is None or self.n_inputs is None:
+            raise RuntimeError("classifier is not fitted")
+        aig = AIG(self.n_inputs)
+        count = ones_counter(aig, aig.input_lits())
+        count = count[: self._count_bits]
+        while len(count) < self._count_bits:
+            count.append(0)
+        aig.set_output(tree_output_lit(self.tree, aig, count))
+        return aig

@@ -1,0 +1,132 @@
+"""Structural Verilog export (Teams 6 and 10's intermediate format).
+
+Team 10 annotates its decision tree "as a Verilog netlist, where each
+DT node is replaced with a multiplexer" and Team 6 emits Verilog from
+the LUT-network SOP before handing off to ABC.  We provide the same
+capability: AIGs and decision trees become synthesizable structural
+Verilog modules, plus a tiny evaluator used in tests to check the
+emitted netlist against the source model.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.aig.aig import AIG, lit_var
+from repro.ml.decision_tree import DecisionTree
+
+
+def aig_to_verilog(aig: AIG, module_name: str = "top") -> str:
+    """Structural Verilog for an AIG (one assign per AND node)."""
+    lines = [f"module {module_name} ("]
+    ports = [f"  input  x{i}," for i in range(aig.n_inputs)]
+    ports += [f"  output y{k}," for k in range(aig.num_outputs)]
+    if ports:
+        ports[-1] = ports[-1].rstrip(",")
+    lines += ports
+    lines.append(");")
+
+    def ref(lit: int) -> str:
+        var = lit_var(lit)
+        if var == 0:
+            name = "1'b0"
+        elif aig.is_input_var(var):
+            name = f"x{var - 1}"
+        else:
+            name = f"n{var}"
+        if lit & 1:
+            return f"1'b1" if name == "1'b0" else f"~{name}"
+        return name
+
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        f0, f1 = aig.fanins(var)
+        lines.append(f"  wire n{var};")
+        lines.append(f"  assign n{var} = {ref(f0)} & {ref(f1)};")
+    for k, lit in enumerate(aig.outputs):
+        lines.append(f"  assign y{k} = {ref(lit)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def tree_to_verilog(tree: DecisionTree, module_name: str = "dt") -> str:
+    """Team 10's conversion: one 2:1 mux per internal tree node."""
+    if tree.n_inputs is None:
+        raise RuntimeError("tree is not fitted")
+    lines = [f"module {module_name} ("]
+    lines += [f"  input  x{i}," for i in range(tree.n_inputs)]
+    lines.append("  output y")
+    lines.append(");")
+    exprs: Dict[int, str] = {}
+
+    def rec(node_id: int) -> str:
+        if node_id in exprs:
+            return exprs[node_id]
+        node = tree.nodes[node_id]
+        if node.is_leaf:
+            expr = "1'b1" if node.value else "1'b0"
+        else:
+            wire = f"m{node_id}"
+            t = rec(node.right)
+            e = rec(node.left)
+            lines.append(f"  wire {wire};")
+            lines.append(
+                f"  assign {wire} = x{node.feature} ? {t} : {e};"
+            )
+            expr = wire
+        exprs[node_id] = expr
+        return expr
+
+    out = rec(0)
+    lines.append(f"  assign y = {out};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+class VerilogEvaluator:
+    """Interpreter for the restricted Verilog this module emits.
+
+    Supports ``assign w = a & b;``, ``assign w = s ? a : b;``, unary
+    ``~`` and the constants ``1'b0`` / ``1'b1`` — enough to check the
+    emitted netlists bit-for-bit against their source models in tests.
+    """
+
+    _ASSIGN = re.compile(r"assign\s+(\w+)\s*=\s*(.+);")
+
+    def __init__(self, source: str):
+        self.inputs: List[str] = re.findall(r"input\s+(\w+)", source)
+        self.outputs: List[str] = re.findall(r"output\s+(\w+)", source)
+        self.assigns = []
+        for target, expr in self._ASSIGN.findall(source):
+            self.assigns.append((target, expr.strip()))
+
+    def _term(self, token: str, env: Dict[str, int]) -> int:
+        token = token.strip()
+        if token == "1'b0":
+            return 0
+        if token == "1'b1":
+            return 1
+        if token.startswith("~"):
+            return 1 - self._term(token[1:], env)
+        return env[token]
+
+    def evaluate(self, input_values: Dict[str, int]) -> Dict[str, int]:
+        env = dict(input_values)
+        for target, expr in self.assigns:
+            if "?" in expr:
+                cond, rest = expr.split("?", 1)
+                then, other = rest.split(":", 1)
+                value = (
+                    self._term(then, env)
+                    if self._term(cond, env)
+                    else self._term(other, env)
+                )
+            elif "&" in expr:
+                left, right = expr.split("&", 1)
+                value = self._term(left, env) & self._term(right, env)
+            else:
+                value = self._term(expr, env)
+            env[target] = value
+        return {name: env[name] for name in self.outputs}

@@ -1,0 +1,26 @@
+"""Two-level (SOP) logic: cubes, covers, PLA files and minimization.
+
+The contest distributes training/validation/test data as PLA files and
+several teams go through SOP form (ESPRESSO, decision-tree paths, rule
+lists) before producing an AIG.  This package provides the cube/cover
+algebra, the espresso-style heuristic minimizer for incompletely
+specified functions, and an exact Quine-McCluskey minimizer used as a
+reference in tests and ablations.
+"""
+
+from repro.twolevel.cube import Cube
+from repro.twolevel.cover import Cover, cover_from_samples
+from repro.twolevel.espresso import espresso
+from repro.twolevel.pla import PLA, read_pla, write_pla
+from repro.twolevel.quine import quine_mccluskey
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "cover_from_samples",
+    "espresso",
+    "PLA",
+    "read_pla",
+    "write_pla",
+    "quine_mccluskey",
+]

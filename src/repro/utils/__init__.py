@@ -1,0 +1,27 @@
+"""Low-level utilities shared by the rest of the library.
+
+Contains packed bit-vector helpers used by the bit-parallel AIG
+simulator and deterministic RNG stream helpers so that every benchmark
+and every team flow is exactly reproducible.
+"""
+
+from repro.utils.bitops import (
+    WORD_BITS,
+    bits_to_int,
+    int_to_bits,
+    pack_bits,
+    popcount64,
+    unpack_bits,
+)
+from repro.utils.rng import derive_seed, rng_for
+
+__all__ = [
+    "WORD_BITS",
+    "bits_to_int",
+    "int_to_bits",
+    "pack_bits",
+    "popcount64",
+    "unpack_bits",
+    "derive_seed",
+    "rng_for",
+]

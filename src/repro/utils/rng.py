@@ -1,0 +1,27 @@
+"""Deterministic RNG streams.
+
+Every stochastic component (benchmark sampling, forests, MLP init, CGP
+mutation, ...) draws from a named stream derived from a master seed so
+runs are reproducible and independent components do not perturb each
+other's randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+MASTER_SEED = 0x1415_2020  # IWLS 2020
+
+
+def derive_seed(*parts) -> int:
+    """Derive a 63-bit seed from a tuple of hashable parts."""
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+def rng_for(*parts, master_seed: int = MASTER_SEED) -> np.random.Generator:
+    """A ``numpy.random.Generator`` seeded from a named stream."""
+    return np.random.default_rng(derive_seed(master_seed, *parts))

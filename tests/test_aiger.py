@@ -1,0 +1,78 @@
+"""AIGER file format round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import AIG, lit_not
+from repro.aig.aiger import read_aag, read_aiger, write_aag, write_aiger
+from tests.conftest import random_aig
+
+
+@pytest.mark.parametrize("writer,reader", [
+    (write_aag, read_aag),
+    (write_aiger, read_aiger),
+])
+class TestRoundTrip:
+    def test_random_graphs(self, writer, reader, tmp_path):
+        for seed in range(5):
+            aig = random_aig(6, 40, seed=seed, n_outputs=3)
+            path = tmp_path / f"g{seed}.aig"
+            writer(aig, path)
+            back = reader(path)
+            assert back.n_inputs == aig.n_inputs
+            assert back.num_outputs == aig.num_outputs
+            assert back.truth_tables() == aig.truth_tables()
+
+    def test_constant_outputs(self, writer, reader, tmp_path):
+        aig = AIG(2)
+        aig.set_output(0)
+        aig.set_output(1)
+        path = tmp_path / "const.aig"
+        writer(aig, path)
+        back = reader(path)
+        assert back.truth_tables() == [0, 0b1111]
+
+    def test_inverted_output(self, writer, reader, tmp_path):
+        aig = AIG(1)
+        aig.set_output(lit_not(aig.input_lit(0)))
+        path = tmp_path / "inv.aig"
+        writer(aig, path)
+        assert reader(path).truth_tables() == [0b01]
+
+
+class TestFormatDetails:
+    def test_aag_header(self, tmp_path):
+        aig = AIG(2)
+        aig.set_output(aig.add_and(aig.input_lit(0), aig.input_lit(1)))
+        path = tmp_path / "x.aag"
+        write_aag(aig, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "aag 3 2 0 1 1"
+
+    def test_binary_smaller_than_ascii(self, tmp_path):
+        aig = random_aig(8, 300, seed=3)
+        a = tmp_path / "x.aag"
+        b = tmp_path / "x.aig"
+        write_aag(aig, a)
+        write_aiger(aig, b)
+        assert b.stat().st_size < a.stat().st_size
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.aag"
+        path.write_text("xyz 1 1 0 1 0\n")
+        with pytest.raises(ValueError):
+            read_aag(path)
+
+    def test_rejects_latches(self, tmp_path):
+        path = tmp_path / "latch.aag"
+        path.write_text("aag 2 1 1 1 0\n2\n4 2\n2\n")
+        with pytest.raises(ValueError):
+            read_aag(path)
+
+    def test_cross_format_equivalence(self, tmp_path):
+        aig = random_aig(5, 60, seed=11, n_outputs=2)
+        a = tmp_path / "x.aag"
+        b = tmp_path / "x.aig"
+        write_aag(aig, a)
+        write_aiger(aig, b)
+        assert read_aag(a).truth_tables() == read_aiger(b).truth_tables()

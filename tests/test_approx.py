@@ -1,0 +1,83 @@
+"""Team 1's simulation-guided approximation."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import AIG, CONST0, CONST1
+from repro.aig.approx import approximate_to_size, substitute_constants
+from repro.aig.build import multiplier
+from tests.conftest import random_aig
+
+
+def _multiplier_aig(k=6):
+    aig = AIG(2 * k)
+    lits = aig.input_lits()
+    for bit in multiplier(aig, lits[:k], lits[k:]):
+        aig.set_output(bit)
+    return aig
+
+
+class TestSubstitute:
+    def test_constant_substitution_semantics(self):
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        x = aig.add_and(a, b)
+        y = aig.add_or(x, a)
+        aig.set_output(y)
+        forced = substitute_constants(aig, {x >> 1: CONST1})
+        # y becomes (1 | a) = 1.
+        assert forced.truth_tables() == [0b1111]
+
+    def test_substitute_rejects_inputs(self):
+        aig = AIG(2)
+        aig.set_output(aig.add_and(aig.input_lit(0), aig.input_lit(1)))
+        with pytest.raises(ValueError):
+            substitute_constants(aig, {1: CONST0})
+
+    def test_negated_references_get_opposite_constant(self):
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        x = aig.add_and(a, b)
+        y = aig.add_and(x ^ 1, a)  # uses complement of x
+        aig.set_output(y)
+        forced = substitute_constants(aig, {x >> 1: CONST0})
+        # !0 & a = a.
+        assert forced.truth_tables() == [0b1010]
+
+
+class TestApproximate:
+    def test_reaches_target_size(self):
+        aig = _multiplier_aig()
+        target = 60
+        small = approximate_to_size(aig, max_ands=target, n_patterns=1024)
+        assert small.num_ands <= target
+
+    def test_noop_when_already_small(self):
+        aig = random_aig(4, 10, seed=2)
+        out = approximate_to_size(aig, max_ands=5000)
+        assert out.truth_tables() == aig.truth_tables()
+
+    def test_interface_preserved(self):
+        aig = _multiplier_aig()
+        small = approximate_to_size(aig, max_ands=100, n_patterns=512)
+        assert small.n_inputs == aig.n_inputs
+        assert small.num_outputs == aig.num_outputs
+
+    def test_agreement_degrades_gracefully(self, rng):
+        """The approximation should stay well above chance agreement."""
+        aig = _multiplier_aig()
+        small = approximate_to_size(aig, max_ands=150, n_patterns=2048)
+        X = rng.integers(0, 2, size=(2000, aig.n_inputs)).astype(np.uint8)
+        agree = (aig.simulate(X) == small.simulate(X)).mean()
+        assert agree > 0.6
+
+    def test_deterministic_given_rng(self):
+        aig = _multiplier_aig()
+        a1 = approximate_to_size(
+            aig, max_ands=80, rng=np.random.default_rng(7)
+        )
+        a2 = approximate_to_size(
+            aig, max_ands=80, rng=np.random.default_rng(7)
+        )
+        assert a1.num_ands == a2.num_ands
+        assert a1.truth_tables() == a2.truth_tables()

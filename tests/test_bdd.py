@@ -1,0 +1,148 @@
+"""ROBDD manager and don't-care minimization."""
+
+import numpy as np
+import pytest
+
+from repro.bdd import BDD, minimize_dontcare, restrict
+from repro.bdd.bdd import FALSE, TRUE
+
+
+def _xor_chain(bdd, n):
+    f = FALSE
+    for i in range(n):
+        f = bdd.xor_(f, bdd.var_node(i))
+    return f
+
+
+class TestBDDCore:
+    def test_reduction_rule(self):
+        bdd = BDD(2)
+        assert bdd.mk(0, TRUE, TRUE) == TRUE
+
+    def test_unique_table_shares(self):
+        bdd = BDD(2)
+        a = bdd.mk(0, FALSE, TRUE)
+        b = bdd.mk(0, FALSE, TRUE)
+        assert a == b
+
+    def test_apply_known_identities(self):
+        bdd = BDD(3)
+        x = bdd.var_node(0)
+        assert bdd.and_(x, TRUE) == x
+        assert bdd.and_(x, FALSE) == FALSE
+        assert bdd.or_(x, TRUE) == TRUE
+        assert bdd.xor_(x, x) == FALSE
+        assert bdd.not_(bdd.not_(x)) == x
+
+    def test_evaluate_majority(self, rng):
+        bdd = BDD(3)
+        x = [bdd.var_node(i) for i in range(3)]
+        maj = bdd.or_(
+            bdd.and_(x[0], x[1]),
+            bdd.or_(bdd.and_(x[0], x[2]), bdd.and_(x[1], x[2])),
+        )
+        X = rng.integers(0, 2, size=(100, 3)).astype(np.uint8)
+        want = (X.sum(axis=1) >= 2).astype(np.uint8)
+        assert np.array_equal(bdd.evaluate(maj, X), want)
+
+    def test_xor_chain_size_linear(self):
+        bdd = BDD(10)
+        f = _xor_chain(bdd, 10)
+        # XOR has a linear-size BDD under any order.
+        assert bdd.count_nodes(f) == 10 * 2 - 1
+
+    def test_from_samples_matches_membership(self, rng):
+        bdd = BDD(6)
+        X = np.unique(
+            rng.integers(0, 2, size=(30, 6)).astype(np.uint8), axis=0
+        )
+        f = bdd.from_samples(X)
+        assert np.array_equal(bdd.evaluate(f, X),
+                              np.ones(len(X), np.uint8))
+        others = rng.integers(0, 2, size=(100, 6)).astype(np.uint8)
+        member = {tuple(r) for r in X}
+        want = np.array(
+            [1 if tuple(r) in member else 0 for r in others], np.uint8
+        )
+        assert np.array_equal(bdd.evaluate(f, others), want)
+
+    def test_to_aig_equivalence(self, rng):
+        bdd = BDD(5)
+        f = _xor_chain(bdd, 5)
+        aig = bdd.to_aig(f)
+        X = rng.integers(0, 2, size=(200, 5)).astype(np.uint8)
+        assert np.array_equal(
+            aig.simulate(X)[:, 0], bdd.evaluate(f, X)
+        )
+
+
+class TestDontCareMinimization:
+    def _setup(self, rng, n=8, n_care=120):
+        bdd = BDD(n)
+        x = [bdd.var_node(i) for i in range(n)]
+        f = bdd.or_(
+            bdd.and_(x[0], x[1]), bdd.and_(x[2], bdd.not_(x[3]))
+        )
+        care_rows = np.unique(
+            rng.integers(0, 2, size=(n_care, n)).astype(np.uint8), axis=0
+        )
+        care = bdd.from_samples(care_rows)
+        return bdd, f, care, care_rows
+
+    def test_restrict_agrees_on_care(self, rng):
+        bdd, f, care, care_rows = self._setup(rng)
+        g = restrict(bdd, f, care)
+        assert np.array_equal(
+            bdd.evaluate(g, care_rows), bdd.evaluate(f, care_rows)
+        )
+
+    def test_restrict_never_larger(self, rng):
+        bdd, f, care, _ = self._setup(rng)
+        g = restrict(bdd, f, care)
+        assert bdd.count_nodes(g) <= bdd.count_nodes(f)
+
+    def test_two_sided_agrees_on_care(self, rng):
+        bdd, f, care, care_rows = self._setup(rng)
+        g = minimize_dontcare(bdd, f, care)
+        assert np.array_equal(
+            bdd.evaluate(g, care_rows), bdd.evaluate(f, care_rows)
+        )
+
+    def test_complemented_agrees_on_care(self, rng):
+        bdd, f, care, care_rows = self._setup(rng)
+        g = minimize_dontcare(bdd, f, care, complemented=True)
+        assert np.array_equal(
+            bdd.evaluate(g, care_rows), bdd.evaluate(f, care_rows)
+        )
+
+    def test_full_care_is_identity(self, rng):
+        bdd, f, _, _ = self._setup(rng)
+        assert restrict(bdd, f, TRUE) == f
+        assert minimize_dontcare(bdd, f, TRUE) == f
+
+    def test_empty_care_collapses(self, rng):
+        bdd, f, _, _ = self._setup(rng)
+        assert restrict(bdd, f, FALSE) == FALSE
+
+    def test_learning_adder_second_msb(self, rng):
+        """The paper's appendix claim: with an MSB-first interleaved
+        order, one-sided matching learns adder output bits well."""
+        k = 6
+        n = 2 * k
+        X = rng.integers(0, 2, size=(700, n)).astype(np.uint8)
+        a = [sum(int(r[i]) << i for i in range(k)) for r in X]
+        b = [sum(int(r[k + i]) << i for i in range(k)) for r in X]
+        y = np.array(
+            [((av + bv) >> (k - 1)) & 1 for av, bv in zip(a, b)], np.uint8
+        )
+        order = []
+        for j in reversed(range(k)):
+            order.extend([j, k + j])
+        Xo = X[:, order]
+        bdd = BDD(n)
+        onset = bdd.from_samples(Xo[:500][y[:500] == 1])
+        care = bdd.from_samples(Xo[:500])
+        g = restrict(bdd, onset, care)
+        pred = bdd.evaluate(g, Xo[500:])
+        acc = float((pred == y[500:]).mean())
+        assert acc > 0.85

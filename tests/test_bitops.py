@@ -1,0 +1,77 @@
+"""Unit tests for packed bit-vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bits_to_int,
+    int_to_bits,
+    pack_bits,
+    popcount64,
+    rows_to_ints,
+    unpack_bits,
+)
+
+
+class TestPackUnpack:
+    def test_roundtrip_exact_word(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(64, 5)).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(X), 64), X)
+
+    def test_roundtrip_partial_word(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(37, 9)).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(X), 37), X)
+
+    def test_roundtrip_multi_word(self):
+        rng = np.random.default_rng(2)
+        X = rng.integers(0, 2, size=(200, 3)).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(X), 200), X)
+
+    def test_padding_bits_are_zero(self):
+        X = np.ones((5, 2), dtype=np.uint8)
+        packed = pack_bits(X)
+        assert packed[0, 0] == 0b11111  # only 5 sample bits set
+
+    def test_bit_order_sample_zero_is_lsb(self):
+        X = np.zeros((3, 1), dtype=np.uint8)
+        X[0, 0] = 1
+        packed = pack_bits(X)
+        assert packed[0, 0] & 1 == 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(4, dtype=np.uint8))
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount64(words).tolist() == [0, 1, 2, 64]
+
+    def test_matches_python_bin(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**63, size=50, dtype=np.uint64)
+        want = [bin(int(w)).count("1") for w in words]
+        assert popcount64(words).tolist() == want
+
+
+class TestIntConversions:
+    def test_bits_to_int_lsb_first(self):
+        assert bits_to_int(np.array([1, 0, 1])) == 5
+
+    def test_int_to_bits_roundtrip(self):
+        for value in (0, 1, 5, 255, 256, 12345):
+            assert bits_to_int(int_to_bits(value, 20)) == value
+
+    def test_int_to_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_rows_to_ints_wide(self):
+        rng = np.random.default_rng(4)
+        X = rng.integers(0, 2, size=(20, 300)).astype(np.uint8)
+        values = rows_to_ints(X)
+        for row, v in zip(X, values):
+            assert v == sum(int(b) << i for i, b in enumerate(row))

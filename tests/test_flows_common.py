@@ -1,0 +1,106 @@
+"""Unit tests for the flow plumbing in repro.flows.common."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import AIG, CONST0, CONST1
+from repro.aig.build import multiplier
+from repro.flows.common import (
+    aig_accuracy,
+    constant_solution,
+    finalize_aig,
+    flow_rng,
+    pick_best,
+)
+from repro.ml.dataset import Dataset
+
+
+def _const_aig(n_inputs, value):
+    aig = AIG(n_inputs)
+    aig.set_output(CONST1 if value else CONST0)
+    return aig
+
+
+def _passthrough_aig(n_inputs, column):
+    aig = AIG(n_inputs)
+    aig.set_output(aig.input_lit(column))
+    return aig
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.integers(0, 2, size=(100, 4)).astype(np.uint8)
+    return Dataset(X, X[:, 1])
+
+
+class TestPickBest:
+    def test_prefers_accuracy(self, data):
+        best = pick_best(
+            [("const0", _const_aig(4, 0)), ("exact", _passthrough_aig(4, 1))],
+            data,
+        )
+        assert best[0] == "exact"
+        assert best[2] == 1.0
+
+    def test_ties_break_by_size(self, data):
+        small = _passthrough_aig(4, 1)
+        big = AIG(4)
+        # Same function, one wasted node.
+        x = big.add_and(big.input_lit(1), big.input_lit(1) ^ 1)
+        del x
+        big.set_output(big.input_lit(1))
+        big._fanin0.append(2)   # keep the dead node in the count
+        big._fanin1.append(4)
+        best = pick_best([("big", big), ("small", small)], data)
+        assert best[0] == "small"
+
+    def test_oversize_used_only_as_fallback(self, data):
+        oversize = _passthrough_aig(4, 1)
+        best = pick_best(
+            [("huge", oversize), ("const", _const_aig(4, 0))],
+            data,
+            max_nodes=-1,  # everything is oversize
+        )
+        assert best[0] == "huge"  # fallback keeps the best anyway
+
+    def test_empty_candidates(self, data):
+        assert pick_best([], data) is None
+
+
+class TestFinalize:
+    def test_respects_cap_via_approximation(self, rng):
+        aig = AIG(12)
+        lits = aig.input_lits()
+        for bit in multiplier(aig, lits[:6], lits[6:]):
+            aig.set_output(bit)
+        out = finalize_aig(aig.extract_cone(), rng, max_nodes=60,
+                          optimize=False)
+        assert out.num_ands <= 60
+
+    def test_keeps_small_circuits_functional(self, rng):
+        aig = _passthrough_aig(4, 2)
+        out = finalize_aig(aig, rng)
+        assert out.truth_tables() == aig.truth_tables()
+
+
+class TestHelpers:
+    def test_constant_solution_majority(self, small_problem):
+        solution = constant_solution(small_problem, "x")
+        # The constant is the train+valid majority label; its test
+        # accuracy is exactly that label's test frequency.
+        merged = small_problem.merged_train_valid()
+        label = 1 if merged.onset_fraction() > 0.5 else 0
+        frac = small_problem.test.onset_fraction()
+        expected = frac if label == 1 else 1 - frac
+        acc = aig_accuracy(solution.aig, small_problem.test)
+        assert acc == pytest.approx(expected, abs=1e-9)
+
+    def test_flow_rng_streams_differ(self, small_problem):
+        a = flow_rng("team01", small_problem, 0)
+        b = flow_rng("team02", small_problem, 0)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_flow_rng_reproducible(self, small_problem):
+        a = flow_rng("team01", small_problem, 0)
+        b = flow_rng("team01", small_problem, 0)
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)

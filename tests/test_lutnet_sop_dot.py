@@ -1,0 +1,70 @@
+"""LUT-network SOP flattening and DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import AIG
+from repro.aig.dot import aig_to_dot, write_dot
+from repro.ml.lutnet import LUTNetwork
+from repro.synth.lutnet_sop import SopExplosion, lutnet_to_cover
+
+
+class TestLutnetSop:
+    def test_cover_matches_network(self, rng):
+        X = rng.integers(0, 2, size=(600, 8)).astype(np.uint8)
+        y = ((X[:, 0] & X[:, 1]) | X[:, 5]).astype(np.uint8)
+        net = LUTNetwork(n_layers=2, luts_per_layer=8, lut_size=3,
+                         rng=rng).fit(X, y)
+        cover = lutnet_to_cover(net)
+        Xt = rng.integers(0, 2, size=(300, 8)).astype(np.uint8)
+        assert np.array_equal(cover.evaluate(Xt), net.predict(Xt))
+
+    def test_single_layer_exact(self, rng):
+        X = rng.integers(0, 2, size=(400, 4)).astype(np.uint8)
+        y = (X[:, 0] ^ X[:, 3]).astype(np.uint8)
+        net = LUTNetwork(n_layers=1, luts_per_layer=4, lut_size=4,
+                         rng=rng).fit(X, y)
+        cover = lutnet_to_cover(net)
+        grid = np.array(
+            [[(m >> i) & 1 for i in range(4)] for m in range(16)],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(cover.evaluate(grid), net.predict(grid))
+
+    def test_budget_enforced(self, rng):
+        X = rng.integers(0, 2, size=(800, 16)).astype(np.uint8)
+        y = (X.sum(axis=1) % 2).astype(np.uint8)  # parity: SOP blows up
+        net = LUTNetwork(n_layers=4, luts_per_layer=64, lut_size=4,
+                         rng=rng).fit(X, y)
+        with pytest.raises(SopExplosion):
+            lutnet_to_cover(net, max_cubes=50)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            lutnet_to_cover(LUTNetwork())
+
+
+class TestDot:
+    def test_dot_structure(self):
+        aig = AIG(2)
+        a, b = aig.input_lit(0), aig.input_lit(1)
+        aig.set_output(aig.add_and(a, b ^ 1))
+        text = aig_to_dot(aig)
+        assert "digraph aig" in text
+        assert text.count('shape=box') == 2
+        assert text.count("doublecircle") == 1
+        assert "style=dashed" in text  # the inverted fanin edge
+
+    def test_dot_skips_dead_nodes(self):
+        aig = AIG(2)
+        aig.add_and(aig.input_lit(0), aig.input_lit(1))  # dead
+        aig.set_output(aig.input_lit(0))
+        text = aig_to_dot(aig)
+        assert 'label="and"' not in text
+
+    def test_write_dot(self, tmp_path):
+        aig = AIG(1)
+        aig.set_output(aig.input_lit(0))
+        path = tmp_path / "g.dot"
+        write_dot(aig, path)
+        assert path.read_text().startswith("digraph g {")

@@ -20,7 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.bitops import WORD_BITS, pack_bits, unpack_bits
+from repro.utils.bitops import bits_to_int
 
 CONST0 = 0
 CONST1 = 1
@@ -72,6 +72,10 @@ class AIG:
         self.outputs: List[int] = []
         self._strash = {}
         self._strash_log: List[Tuple[int, int]] = []
+        # Structural version, bumped on every mutation; keys the cached
+        # compiled simulation engine (see :meth:`compiled`).
+        self._version = 0
+        self._compiled: Optional[Tuple[int, Tuple[int, ...], object]] = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -142,6 +146,7 @@ class AIG:
         lit = lit_make(var)
         self._strash[key] = lit
         self._strash_log.append(key)
+        self._version += 1
         return lit
 
     def add_or(self, a: int, b: int) -> int:
@@ -192,6 +197,7 @@ class AIG:
     def set_output(self, lit: int) -> int:
         """Append an output literal; returns its output index."""
         self.outputs.append(lit)
+        self._version += 1
         return len(self.outputs) - 1
 
     # ------------------------------------------------------------------
@@ -210,25 +216,20 @@ class AIG:
         del self._fanin0[n_ands:]
         del self._fanin1[n_ands:]
         del self.outputs[n_outs:]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Structural analysis
     # ------------------------------------------------------------------
     def levels(self) -> np.ndarray:
         """Level of every variable (constant and inputs are level 0)."""
-        lv = np.zeros(self.num_vars, dtype=np.int32)
-        base = self.n_inputs + 1
-        for j in range(self.num_ands):
-            a = lv[self._fanin0[j] >> 1]
-            b = lv[self._fanin1[j] >> 1]
-            lv[base + j] = (a if a > b else b) + 1
-        return lv
+        return self.compiled().var_levels.copy()
 
     def depth(self) -> int:
         """Number of logic levels on the longest output path."""
         if not self.outputs:
             return 0
-        lv = self.levels()
+        lv = self.compiled().var_levels
         return int(max(lv[lit_var(o)] for o in self.outputs))
 
     def fanout_counts(self) -> np.ndarray:
@@ -305,8 +306,30 @@ class AIG:
         return new
 
     # ------------------------------------------------------------------
-    # Simulation
+    # Simulation (delegates to the levelized engine in repro.sim)
     # ------------------------------------------------------------------
+    def compiled(self):
+        """The levelized simulation engine for the current structure.
+
+        Compiled lazily and cached until the next mutation
+        (:meth:`add_and` appending a node, :meth:`set_output`,
+        :meth:`rollback`), so repeated simulations of the same graph —
+        the common case when scoring one candidate on several sample
+        sets — pay the compile cost once.  ``outputs`` is a public
+        list, so the cache is additionally keyed on its contents to
+        stay correct under in-place rewiring.
+        """
+        from repro.sim.engine import compile_aig
+
+        outs = tuple(self.outputs)
+        if (
+            self._compiled is None
+            or self._compiled[0] != self._version
+            or self._compiled[1] != outs
+        ):
+            self._compiled = (self._version, outs, compile_aig(self))
+        return self._compiled[2]
+
     def simulate_packed_all(self, packed_inputs: np.ndarray) -> np.ndarray:
         """Bit-parallel simulation returning values of *every* variable.
 
@@ -315,28 +338,7 @@ class AIG:
         Returns the full value matrix, shape ``(num_vars, n_words)``,
         in positive polarity (row of variable ``v`` is ``v``'s value).
         """
-        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
-        if packed_inputs.shape[0] != self.n_inputs:
-            raise ValueError(
-                f"expected {self.n_inputs} input rows, got {packed_inputs.shape[0]}"
-            )
-        n_words = packed_inputs.shape[1] if packed_inputs.ndim == 2 else 1
-        values = np.zeros((self.num_vars, n_words), dtype=np.uint64)
-        values[1 : 1 + self.n_inputs] = packed_inputs
-        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
-        f0 = self._fanin0
-        f1 = self._fanin1
-        base = self.n_inputs + 1
-        for j in range(self.num_ands):
-            a, b = f0[j], f1[j]
-            va = values[a >> 1]
-            if a & 1:
-                va = va ^ ones
-            vb = values[b >> 1]
-            if b & 1:
-                vb = vb ^ ones
-            values[base + j] = va & vb
-        return values
+        return self.compiled().run_packed_all(packed_inputs)
 
     def simulate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
         """Bit-parallel simulation of the registered outputs.
@@ -344,27 +346,14 @@ class AIG:
         ``packed_inputs`` has shape ``(n_inputs, n_words)``; returns
         packed output values, shape ``(n_outputs, n_words)``.
         """
-        values = self.simulate_packed_all(packed_inputs)
-        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
-        n_words = values.shape[1]
-        out = np.empty((len(self.outputs), n_words), dtype=np.uint64)
-        for k, lit in enumerate(self.outputs):
-            v = values[lit >> 1]
-            out[k] = v ^ ones if lit & 1 else v
-        return out
+        return self.compiled().run_packed(packed_inputs)
 
     def simulate(self, samples: np.ndarray) -> np.ndarray:
         """Evaluate on a ``(n_samples, n_inputs)`` 0/1 matrix.
 
         Returns a ``(n_samples, n_outputs)`` uint8 matrix.
         """
-        samples = np.asarray(samples, dtype=np.uint8)
-        if samples.ndim == 1:
-            samples = samples[None, :]
-        n_samples = samples.shape[0]
-        packed = pack_bits(samples)
-        out = self.simulate_packed(packed)
-        return unpack_bits(out, n_samples)
+        return self.compiled().run(samples)
 
     def truth_tables(self, n_vars: Optional[int] = None) -> List[int]:
         """Exhaustive truth table of each output as a Python int.
@@ -385,14 +374,7 @@ class AIG:
             pattern[1 << i :] = 1
             grid[:, i] = np.tile(pattern, n_rows // period)
         values = self.simulate(grid)
-        tables = []
-        for k in range(self.num_outputs):
-            bits = values[:, k]
-            table = 0
-            for m in np.nonzero(bits)[0]:
-                table |= 1 << int(m)
-            tables.append(table)
-        return tables
+        return [bits_to_int(values[:, k]) for k in range(self.num_outputs)]
 
     def __repr__(self) -> str:
         return (

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.aig.aig import AIG, lit_var
+from repro.sim.batch import simulate_circuits
 from repro.utils.rng import rng_for
 
 
@@ -30,8 +31,9 @@ def simulate_differs(
     if rng is None:
         rng = rng_for("cec")
     X = rng.integers(0, 2, size=(n_patterns, a.n_inputs)).astype(np.uint8)
-    out_a = a.simulate(X)
-    out_b = b.simulate(X)
+    # Pack the pattern matrix once and run both circuits against the
+    # shared packed words (repro.sim batched evaluation).
+    out_a, out_b = simulate_circuits([a, b], X)
     diff = np.nonzero((out_a != out_b).any(axis=1))[0]
     if diff.size:
         return X[diff[0]]

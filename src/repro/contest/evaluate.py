@@ -9,12 +9,13 @@ accuracy)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
 from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
 from repro.ml.metrics import accuracy
+from repro.sim.batch import output_predictions
 
 
 @dataclass
@@ -36,12 +37,7 @@ class Score:
         return self.valid_accuracy - self.test_accuracy
 
 
-def evaluate_solution(
-    problem: LearningProblem,
-    solution: Solution,
-    max_nodes: int = MAX_AND_NODES,
-) -> Score:
-    """Score a solution on all three sample sets."""
+def _check_interface(problem: LearningProblem, solution: Solution) -> None:
     aig = solution.aig
     if aig.n_inputs != problem.n_inputs:
         raise ValueError(
@@ -50,19 +46,58 @@ def evaluate_solution(
         )
     if aig.num_outputs != 1:
         raise ValueError("contest solutions are single-output")
-    test_pred = aig.simulate(problem.test.X)[:, 0]
-    valid_pred = aig.simulate(problem.valid.X)[:, 0]
-    train_pred = aig.simulate(problem.train.X)[:, 0]
-    return Score(
-        benchmark=problem.name,
-        method=solution.method,
-        test_accuracy=accuracy(problem.test.y, test_pred),
-        valid_accuracy=accuracy(problem.valid.y, valid_pred),
-        train_accuracy=accuracy(problem.train.y, train_pred),
-        num_ands=aig.num_ands,
-        levels=aig.depth(),
-        legal=solution.is_legal(max_nodes),
-    )
+
+
+def evaluate_solutions(
+    problem: LearningProblem,
+    solutions: Sequence[Solution],
+    max_nodes: int = MAX_AND_NODES,
+) -> List[Score]:
+    """Score many solutions on one benchmark in a single batched pass.
+
+    The test/valid/train matrices are stacked and bit-packed once;
+    every circuit is then evaluated against the shared packed words,
+    so scoring N candidates costs one packing plus N engine runs
+    instead of 3N full simulations.
+    """
+    solutions = list(solutions)
+    if not solutions:
+        return []
+    for solution in solutions:
+        _check_interface(problem, solution)
+    stacked = np.vstack((problem.test.X, problem.valid.X, problem.train.X))
+    preds = output_predictions([s.aig for s in solutions], stacked)
+    n_test = problem.test.n_samples
+    n_valid = problem.valid.n_samples
+    scores = []
+    for solution, pred in zip(solutions, preds):
+        aig = solution.aig
+        scores.append(
+            Score(
+                benchmark=problem.name,
+                method=solution.method,
+                test_accuracy=accuracy(problem.test.y, pred[:n_test]),
+                valid_accuracy=accuracy(
+                    problem.valid.y, pred[n_test : n_test + n_valid]
+                ),
+                train_accuracy=accuracy(
+                    problem.train.y, pred[n_test + n_valid :]
+                ),
+                num_ands=aig.num_ands,
+                levels=aig.depth(),
+                legal=solution.is_legal(max_nodes),
+            )
+        )
+    return scores
+
+
+def evaluate_solution(
+    problem: LearningProblem,
+    solution: Solution,
+    max_nodes: int = MAX_AND_NODES,
+) -> Score:
+    """Score a solution on all three sample sets (one simulation pass)."""
+    return evaluate_solutions(problem, [solution], max_nodes)[0]
 
 
 def summarize(scores: Iterable[Score]) -> Dict[str, float]:

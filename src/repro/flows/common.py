@@ -12,6 +12,7 @@ from repro.aig.optimize import balance, compress
 from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
 from repro.ml.dataset import Dataset
 from repro.ml.metrics import accuracy
+from repro.sim.batch import output_predictions
 from repro.utils.rng import rng_for
 
 
@@ -67,20 +68,30 @@ def pick_best(
 ) -> Optional[Tuple[str, AIG, float]]:
     """Best legal candidate by accuracy on ``data`` (ties: smaller).
 
-    Candidates over the node cap are only used if nothing legal exists.
+    Candidates over the node cap are only used if nothing legal exists;
+    they obey the same ``(accuracy, size)`` ordering.  All candidates
+    are scored in one batched pass (``data`` is bit-packed once).
     """
+    candidates = list(candidates)
+    if not candidates:
+        return None
+    preds = output_predictions([aig for _, aig in candidates], data.X)
     best: Optional[Tuple[str, AIG, float]] = None
     fallback: Optional[Tuple[str, AIG, float]] = None
-    for name, aig in candidates:
-        acc = aig_accuracy(aig, data)
-        entry = (name, aig, acc)
+
+    def better(entry, incumbent):
+        if incumbent is None:
+            return True
+        acc, inc_acc = entry[2], incumbent[2]
+        return acc > inc_acc or (
+            acc == inc_acc and entry[1].num_ands < incumbent[1].num_ands
+        )
+
+    for (name, aig), pred in zip(candidates, preds):
+        entry = (name, aig, accuracy(data.y, pred))
         if aig.num_ands <= max_nodes:
-            if (
-                best is None
-                or acc > best[2]
-                or (acc == best[2] and aig.num_ands < best[1].num_ands)
-            ):
+            if better(entry, best):
                 best = entry
-        elif fallback is None or acc > fallback[2]:
+        elif better(entry, fallback):
             fallback = entry
     return best if best is not None else fallback

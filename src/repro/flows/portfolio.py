@@ -51,6 +51,15 @@ def run(
         solutions[name] = solution
         candidates.append((name, solution.aig))
     best = common.pick_best(candidates, problem.valid)
+    if best is None:
+        # No flows requested (or no flow produced a candidate): fall
+        # back to the majority constant rather than crashing.
+        fallback = common.constant_solution(problem, "portfolio")
+        fallback.metadata["selected_flow"] = None
+        fallback.metadata["valid_accuracy"] = common.aig_accuracy(
+            fallback.aig, problem.valid
+        )
+        return fallback
     name, aig, acc = best
     chosen = solutions[name]
     return Solution(

@@ -65,12 +65,17 @@ def popcount64(words: np.ndarray) -> np.ndarray:
 
 
 def bits_to_int(bits: np.ndarray) -> int:
-    """Interpret a 0/1 vector as an unsigned integer, bit 0 first (LSB)."""
-    value = 0
-    for i, b in enumerate(np.asarray(bits).ravel()):
-        if b:
-            value |= 1 << i
-    return value
+    """Interpret a 0/1 vector as an unsigned integer, bit 0 first (LSB).
+
+    Shared by :meth:`repro.aig.aig.AIG.truth_tables` and the two-level
+    code: the vector is byte-packed in one numpy call and decoded with
+    ``int.from_bytes`` instead of a per-set-bit Python loop.
+    """
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    if not bits.size:
+        return 0
+    packed = np.packbits(bits != 0, bitorder="little")
+    return int.from_bytes(packed.tobytes(), byteorder="little")
 
 
 def int_to_bits(value: int, width: int) -> np.ndarray:

@@ -63,6 +63,21 @@ class TestPickBest:
         )
         assert best[0] == "huge"  # fallback keeps the best anyway
 
+    def test_oversize_ties_break_by_size(self, data):
+        # Regression: the fallback branch must apply the same
+        # "ties broken by smaller circuit" rule as the legal branch.
+        small = _passthrough_aig(4, 1)
+        big = AIG(4)
+        big.add_and(big.input_lit(0), big.input_lit(2))  # dead node
+        big.add_and(big.input_lit(0), big.input_lit(3))  # dead node
+        big.set_output(big.input_lit(1))
+        for order in (
+            [("big", big), ("small", small)],
+            [("small", small), ("big", big)],
+        ):
+            best = pick_best(order, data, max_nodes=-1)
+            assert best[0] == "small"
+
     def test_empty_candidates(self, data):
         assert pick_best([], data) is None
 
@@ -81,6 +96,21 @@ class TestFinalize:
         aig = _passthrough_aig(4, 2)
         out = finalize_aig(aig, rng)
         assert out.truth_tables() == aig.truth_tables()
+
+
+class TestPortfolioFallback:
+    def test_empty_flow_list_returns_constant(self, small_problem):
+        # Regression: used to raise "cannot unpack non-sequence
+        # NoneType" because pick_best returns None for no candidates.
+        from repro.contest.problem import MAX_AND_NODES
+        from repro.flows import portfolio
+
+        solution = portfolio.run(small_problem, flows=[])
+        assert solution.is_legal(MAX_AND_NODES)
+        assert solution.aig.num_ands == 0
+        assert solution.method.endswith("+const")
+        assert solution.metadata["selected_flow"] is None
+        assert 0.0 <= solution.metadata["valid_accuracy"] <= 1.0
 
 
 class TestHelpers:

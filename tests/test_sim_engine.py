@@ -1,0 +1,216 @@
+"""Tests for the levelized simulation engine (repro.sim).
+
+The engine must be bit-exact with the seed per-node simulation loop
+(kept as ``reference_simulate_packed_all``); the property test drives
+randomized AIGs with varied input counts, complemented and constant
+outputs, and sample counts on and off the 64-bit word boundary.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import AIG, CONST0, CONST1, lit_var
+from repro.contest.evaluate import evaluate_solution, evaluate_solutions
+from repro.contest.problem import Solution
+from repro.sim import (
+    compile_aig,
+    output_predictions,
+    reference_simulate_packed_all,
+    simulate_circuits,
+    simulate_datasets,
+)
+from repro.utils.bitops import pack_bits, unpack_bits
+
+
+def build_random_aig(n_inputs, n_nodes, seed, n_outputs=3):
+    """Random strashed AIG whose pool includes the constants, so
+    outputs can land on const/input/AND literals of either polarity."""
+    rnd = random.Random(seed)
+    aig = AIG(n_inputs)
+    pool = list(aig.input_lits()) + [CONST0, CONST1]
+    for _ in range(n_nodes):
+        a = rnd.choice(pool) ^ rnd.randint(0, 1)
+        b = rnd.choice(pool) ^ rnd.randint(0, 1)
+        pool.append(aig.add_and(a, b))
+    for _ in range(n_outputs):
+        aig.set_output(rnd.choice(pool) ^ rnd.randint(0, 1))
+    return aig
+
+
+def reference_outputs(aig, packed):
+    """Output gather on top of the seed loop (the seed simulate_packed)."""
+    values = reference_simulate_packed_all(aig, packed)
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    out = np.empty((aig.num_outputs, values.shape[1]), dtype=np.uint64)
+    for k, lit in enumerate(aig.outputs):
+        v = values[lit_var(lit)]
+        out[k] = v ^ ones if lit & 1 else v
+    return out
+
+
+class TestEngineBitExact:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_inputs=st.integers(min_value=1, max_value=10),
+        n_nodes=st.integers(min_value=0, max_value=80),
+        seed=st.integers(min_value=0, max_value=10**6),
+        n_samples=st.one_of(
+            st.integers(min_value=1, max_value=200),
+            st.sampled_from([64, 128, 256]),  # exact word multiples
+        ),
+        n_outputs=st.integers(min_value=0, max_value=4),
+    )
+    def test_matches_seed_simulator(
+        self, n_inputs, n_nodes, seed, n_samples, n_outputs
+    ):
+        aig = build_random_aig(n_inputs, n_nodes, seed, n_outputs)
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 2, size=(n_samples, n_inputs)).astype(np.uint8)
+        packed = pack_bits(X)
+        ref_all = reference_simulate_packed_all(aig, packed)
+        assert np.array_equal(aig.simulate_packed_all(packed), ref_all)
+        ref_out = reference_outputs(aig, packed)
+        assert np.array_equal(aig.simulate_packed(packed), ref_out)
+        assert np.array_equal(
+            aig.simulate(X), unpack_bits(ref_out, n_samples)
+        )
+
+    def test_constant_and_passthrough_outputs(self):
+        aig = AIG(2)
+        aig.set_output(CONST1)
+        aig.set_output(CONST0)
+        aig.set_output(aig.input_lit(1))
+        aig.set_output(aig.input_lit(0) ^ 1)
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        expect = np.array(
+            [[1, 0, 0, 1], [1, 0, 1, 1], [1, 0, 0, 0], [1, 0, 1, 0]],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(aig.simulate(X), expect)
+
+    def test_no_outputs_and_no_inputs(self):
+        aig = AIG(0)
+        aig.set_output(CONST1)
+        out = aig.simulate(np.zeros((5, 0), dtype=np.uint8))
+        assert np.array_equal(out, np.ones((5, 1), dtype=np.uint8))
+        empty = AIG(3)
+        assert empty.simulate(
+            np.zeros((4, 3), dtype=np.uint8)
+        ).shape == (4, 0)
+
+    def test_depth_grouping(self):
+        aig = AIG(4)
+        a = aig.add_and(aig.input_lit(0), aig.input_lit(1))
+        b = aig.add_and(aig.input_lit(2), aig.input_lit(3))
+        c = aig.add_and(a, b ^ 1)
+        aig.set_output(c)
+        compiled = compile_aig(aig)
+        assert compiled.depth == 2
+        assert compiled.level_widths == [2, 1]
+
+    def test_wrong_input_rows_raises(self):
+        aig = build_random_aig(4, 10, 0)
+        with pytest.raises(ValueError):
+            aig.simulate_packed_all(np.zeros((3, 1), dtype=np.uint64))
+
+
+class TestCompileCache:
+    def test_cache_invalidated_by_mutation_and_rollback(self):
+        aig = AIG(2)
+        aig.set_output(aig.add_and(aig.input_lit(0), aig.input_lit(1)))
+        X = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        first = aig.compiled()
+        assert aig.compiled() is first  # cached while unchanged
+        state = aig.checkpoint()
+        aig.set_output(aig.add_and(aig.input_lit(0), aig.input_lit(1) ^ 1))
+        assert aig.compiled() is not first
+        assert np.array_equal(
+            aig.simulate(X), np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        )
+        aig.rollback(state)
+        assert np.array_equal(
+            aig.simulate(X), np.array([[1], [0]], dtype=np.uint8)
+        )
+
+    def test_cache_tracks_inplace_output_rewiring(self):
+        # `outputs` is a public list; complementing an entry in place
+        # must not serve stale cached simulation results.
+        aig = AIG(1)
+        aig.set_output(aig.input_lit(0))
+        X = np.array([[0], [1]], dtype=np.uint8)
+        assert np.array_equal(aig.simulate(X)[:, 0], [0, 1])
+        aig.outputs[0] ^= 1
+        assert np.array_equal(aig.simulate(X)[:, 0], [1, 0])
+
+
+class TestBatch:
+    def test_simulate_datasets_matches_individual(self):
+        aig = build_random_aig(6, 40, 7)
+        rng = np.random.default_rng(7)
+        mats = [
+            rng.integers(0, 2, size=(n, 6)).astype(np.uint8)
+            for n in (5, 64, 130)
+        ]
+        batched = simulate_datasets(aig, mats)
+        assert len(batched) == 3
+        for m, out in zip(mats, batched):
+            assert np.array_equal(out, aig.simulate(m))
+        assert simulate_datasets(aig, []) == []
+
+    def test_simulate_circuits_matches_individual(self):
+        rng = np.random.default_rng(11)
+        X = rng.integers(0, 2, size=(100, 5)).astype(np.uint8)
+        aigs = [build_random_aig(5, n, seed=n, n_outputs=1)
+                for n in (0, 10, 50)]
+        batched = simulate_circuits(aigs, X)
+        for aig, out in zip(aigs, batched):
+            assert np.array_equal(out, aig.simulate(X))
+        preds = output_predictions(aigs, X)
+        for aig, p in zip(aigs, preds):
+            assert np.array_equal(p, aig.simulate(X)[:, 0])
+        assert simulate_circuits([], X) == []
+
+
+class TestTruthTables:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_inputs=st.integers(min_value=1, max_value=6),
+        n_nodes=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_matches_per_bit_loop(self, n_inputs, n_nodes, seed):
+        aig = build_random_aig(n_inputs, n_nodes, seed, n_outputs=2)
+        values = aig.simulate(
+            np.array(
+                [
+                    [(m >> i) & 1 for i in range(n_inputs)]
+                    for m in range(1 << n_inputs)
+                ],
+                dtype=np.uint8,
+            )
+        )
+        expected = []
+        for k in range(aig.num_outputs):
+            table = 0
+            for m in np.nonzero(values[:, k])[0]:
+                table |= 1 << int(m)
+            expected.append(table)
+        assert aig.truth_tables() == expected
+
+
+class TestEvaluateSolutions:
+    def test_matches_single_evaluation(self, small_problem):
+        solutions = [
+            Solution(aig=build_random_aig(
+                small_problem.n_inputs, n, seed=n, n_outputs=1
+            ), method=f"rand{n}")
+            for n in (0, 20, 100)
+        ]
+        batched = evaluate_solutions(small_problem, solutions)
+        singles = [evaluate_solution(small_problem, s) for s in solutions]
+        assert batched == singles
+        assert evaluate_solutions(small_problem, []) == []

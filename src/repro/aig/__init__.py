@@ -17,7 +17,8 @@ from repro.aig.aig import (
     lit_regular,
     lit_var,
 )
-from repro.aig.aiger import read_aag, read_aiger, write_aag, write_aiger
+from repro.aig.aiger import (dumps_aag, read_aag, read_aiger, write_aag,
+                             write_aiger)
 from repro.aig.approx import approximate_to_size
 from repro.aig.cec import check_equivalence
 from repro.aig.optimize import balance, compress, refactor, rewrite
@@ -32,6 +33,7 @@ __all__ = [
     "lit_regular",
     "lit_var",
     "read_aag",
+    "dumps_aag",
     "read_aiger",
     "write_aag",
     "write_aiger",

@@ -17,8 +17,9 @@ from repro.aig.aig import AIG
 PathLike = Union[str, Path]
 
 
-def write_aag(aig: AIG, path: PathLike) -> None:
-    """Write an ASCII AIGER (.aag) file."""
+def dumps_aag(aig: AIG) -> str:
+    """ASCII AIGER (.aag) text for an AIG (what :func:`write_aag`
+    writes; the run store persists it without touching a temp file)."""
     maxvar = aig.num_vars - 1
     lines = [f"aag {maxvar} {aig.n_inputs} 0 {aig.num_outputs} {aig.num_ands}"]
     for i in range(aig.n_inputs):
@@ -29,7 +30,12 @@ def write_aag(aig: AIG, path: PathLike) -> None:
     for j in range(aig.num_ands):
         f0, f1 = aig.fanins(base + j)
         lines.append(f"{2 * (base + j)} {f0} {f1}")
-    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+    return "\n".join(lines) + "\n"
+
+
+def write_aag(aig: AIG, path: PathLike) -> None:
+    """Write an ASCII AIGER (.aag) file."""
+    Path(path).write_text(dumps_aag(aig), encoding="ascii")
 
 
 def read_aag(path: PathLike) -> AIG:

@@ -9,7 +9,7 @@ accuracy), Fig. 4 (win-rate / top-1% counts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,21 +40,27 @@ def pareto_curve(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, flo
 
 def accuracy_size_tradeoff(
     scores_by_team: Dict[str, List[Score]],
-    accuracy_grid: Sequence[float] = (0.85, 0.87, 0.89, 0.91, 0.93),
+    accuracy_grid: Optional[Sequence[float]] = None,
 ) -> List[Tuple[float, float]]:
     """Fig. 2's virtual-best trade-off curve.
 
-    For each target average accuracy, chooses per-benchmark solutions
-    (among all teams' solutions) minimizing average size subject to the
-    average accuracy reaching the target: per benchmark we scan the
-    accuracy-sorted candidate list, which yields the standard
-    Lagrangian sweep approximation the paper plots.
+    A Lagrangian sweep: for each multiplier, pick per benchmark the
+    legal solution (across all teams) maximizing ``accuracy - lam *
+    size`` and average; the swept averages reduce to a Pareto
+    frontier.  Without ``accuracy_grid`` the full frontier is
+    returned.  With it, the frontier is sampled at the given target
+    accuracies: one ``(size, target)`` point per target, where size is
+    the smallest average size reaching that accuracy (NaN when the
+    target is unreachable) — the form the paper's Fig. 2 annotations
+    quote ("~x ANDs buy y% accuracy").
     """
     by_benchmark: Dict[str, List[Score]] = {}
     for scores in scores_by_team.values():
         for s in scores:
             if s.legal:
                 by_benchmark.setdefault(s.benchmark, []).append(s)
+    if not by_benchmark:
+        return []
     curve: List[Tuple[float, float]] = []
     lambdas = np.geomspace(1e-6, 1e-1, 60)
     for lam in lambdas:
@@ -69,8 +75,12 @@ def accuracy_size_tradeoff(
         curve.append((total_size / n, total_acc / n))
     # Reduce to the Pareto frontier.
     frontier = pareto_curve(curve)
-    del accuracy_grid
-    return frontier
+    if accuracy_grid is None:
+        return frontier
+    return [
+        (size_needed_for_accuracy(frontier, target), float(target))
+        for target in accuracy_grid
+    ]
 
 
 def size_needed_for_accuracy(
@@ -96,11 +106,34 @@ def per_benchmark_best(
 def win_rates(
     scores_by_team: Dict[str, List[Score]], top_tolerance: float = 0.01
 ) -> Dict[str, Dict[str, int]]:
-    """Fig. 4: per team, #benchmarks where it is best / within top 1%."""
-    by_benchmark: Dict[str, Dict[str, Score]] = {}
+    """Fig. 4: per team, #benchmarks where it is best / near the top.
+
+    ``top_tolerance`` is an **absolute** accuracy margin, not a
+    relative one: the default 0.01 counts a team as "top1pct" when its
+    test accuracy is within one accuracy *point* of the per-benchmark
+    best (e.g. best 0.90 admits >= 0.89), matching the paper's "within
+    1% of the best" reading.  Exact ties at the top all count as
+    "best" — and every "best" team trivially also counts as "top1pct".
+
+    Multi-trial runs contribute one comparison per (benchmark, trial),
+    so counts scale with trials instead of silently dropping all but
+    one seed.  Scores carrying a ``seed`` (everything reconstructed
+    from a run store) are matched by seed — robust even when an
+    interrupted store holds different seed subsets per team; scores
+    without one fall back to positional alignment, which is exact for
+    complete in-memory grids.
+    """
+    by_benchmark: Dict[Tuple[str, object], Dict[str, Score]] = {}
     for team, scores in scores_by_team.items():
+        occurrence: Dict[str, int] = {}
         for s in scores:
-            by_benchmark.setdefault(s.benchmark, {})[team] = s
+            if s.seed is not None:
+                trial: object = ("seed", s.seed)
+            else:
+                index = occurrence.get(s.benchmark, 0)
+                occurrence[s.benchmark] = index + 1
+                trial = ("pos", index)
+            by_benchmark.setdefault((s.benchmark, trial), {})[team] = s
     out = {team: {"best": 0, "top1pct": 0} for team in scores_by_team}
     for entries in by_benchmark.values():
         top = max(e.test_accuracy for e in entries.values())
@@ -171,31 +204,105 @@ class ContestRun:
 
 def run_contest(
     benchmark_indices: Sequence[int],
-    flows: Dict[str, object],
+    flows: Union[Dict[str, object], Sequence[str]],
     n_train: int = 1000,
     n_valid: int = 1000,
     n_test: int = 1000,
     effort: str = "small",
     master_seed: int = 0,
     verbose: bool = False,
+    jobs: int = 1,
+    trials: int = 1,
+    out_dir: Optional[str] = None,
+    resume: bool = True,
+    keep_solutions: bool = False,
 ) -> ContestRun:
-    """Execute a set of flows over a benchmark subset and score them."""
+    """Execute a set of flows over a benchmark subset and score them.
+
+    Thin wrapper over :mod:`repro.runner`: the (flow x benchmark x
+    trial) grid runs through the task layer — in-process for
+    ``jobs=1``, over a process pool otherwise — and the ``ContestRun``
+    is reconstructed from the task records.  With ``out_dir`` every
+    completed task is persisted and already-stored tasks are skipped
+    on re-invocation (``resume=True``), so interrupted or extended
+    runs never recompute finished work.
+
+    ``flows`` maps display names to flow callables (the historical
+    interface) or is a plain list of flow names.  Parallel or stored
+    runs need callables importable by name so workers can re-resolve
+    them; purely in-process runs (``jobs=1``, no ``out_dir``) keep
+    accepting arbitrary callables (lambdas, partials) and fall back to
+    invoking them directly.
+    """
+    from repro.runner import contest_tasks, flow_name_for, run_contest_tasks
+
+    if isinstance(flows, dict):
+        try:
+            flow_names = {
+                name: flow_name_for(name, flow)
+                for name, flow in flows.items()
+            }
+        except ValueError:
+            if jobs > 1 or out_dir is not None:
+                raise
+            return _run_contest_inline(
+                benchmark_indices, flows, n_train=n_train, n_valid=n_valid,
+                n_test=n_test, effort=effort, master_seed=master_seed,
+                trials=trials, verbose=verbose,
+            )
+    else:
+        flow_names = {name: name for name in flows}
+    specs = contest_tasks(
+        benchmark_indices,
+        flow_names,
+        n_train=n_train,
+        n_valid=n_valid,
+        n_test=n_test,
+        effort=effort,
+        master_seed=master_seed,
+        trials=trials,
+    )
+    return run_contest_tasks(
+        specs,
+        jobs=jobs,
+        out_dir=out_dir,
+        resume=resume,
+        keep_solutions=keep_solutions,
+        verbose=verbose,
+    )
+
+
+def _run_contest_inline(
+    benchmark_indices: Sequence[int],
+    flows: Dict[str, object],
+    n_train: int,
+    n_valid: int,
+    n_test: int,
+    effort: str,
+    master_seed: int,
+    trials: int,
+    verbose: bool,
+) -> ContestRun:
+    """The pre-runner serial loop, kept for non-importable callables."""
     from repro.contest import build_suite, evaluate_solution, make_problem
 
     suite = build_suite()
     scores_by_team: Dict[str, List[Score]] = {name: [] for name in flows}
     for idx in benchmark_indices:
-        problem = make_problem(
-            suite[idx], n_train=n_train, n_valid=n_valid, n_test=n_test,
-            master_seed=master_seed,
-        )
-        for name, flow in flows.items():
-            solution = flow(problem, effort=effort, master_seed=master_seed)
-            score = evaluate_solution(problem, solution)
-            scores_by_team[name].append(score)
-            if verbose:
-                print(
-                    f"{problem.name} {name}: acc={score.test_accuracy:.3f} "
-                    f"ands={score.num_ands} [{solution.method}]"
-                )
+        for t in range(trials):
+            seed = master_seed + t
+            problem = make_problem(
+                suite[idx], n_train=n_train, n_valid=n_valid,
+                n_test=n_test, master_seed=seed,
+            )
+            for name, flow in flows.items():
+                solution = flow(problem, effort=effort, master_seed=seed)
+                score = evaluate_solution(problem, solution)
+                scores_by_team[name].append(score)
+                if verbose:
+                    print(
+                        f"{problem.name} {name} s{seed}: "
+                        f"acc={score.test_accuracy:.3f} "
+                        f"ands={score.num_ands} [{solution.method}]"
+                    )
     return ContestRun(scores_by_team)

@@ -1,11 +1,17 @@
 """Command-line interface.
 
     python -m repro.cli run --benchmark 30 --flow team01
-    python -m repro.cli contest --benchmarks 0 30 74 --flows team01 team10
+    python -m repro.cli contest --benchmarks 0 30 74 --flows team01 team10 \
+        --jobs 4 --out-dir runs/mini --trials 3
+    python -m repro.cli report --out-dir runs/mini
     python -m repro.cli list
 
 Mirrors how a contest participant would drive the library: pick
-benchmarks, run flows, read the leaderboard.
+benchmarks, run flows, read the leaderboard.  ``contest`` fans the
+task grid out over ``--jobs`` worker processes and (with ``--out-dir``)
+persists every completed task, skipping already-stored ones on
+re-invocation; ``report`` rebuilds the tables from such a run
+directory without executing anything.
 """
 
 from __future__ import annotations
@@ -18,6 +24,15 @@ from repro.contest import build_suite, evaluate_solution, make_problem
 from repro.flows import ALL_FLOWS
 
 
+def _validated_indices(parser, indices) -> None:
+    n = len(build_suite())
+    for idx in indices:
+        if not 0 <= idx < n:
+            parser.error(
+                f"benchmark index {idx} out of range 0..{n - 1}"
+            )
+
+
 def _cmd_list(args) -> None:
     suite = build_suite()
     for spec in suite:
@@ -26,7 +41,8 @@ def _cmd_list(args) -> None:
     del args
 
 
-def _cmd_run(args) -> None:
+def _cmd_run(parser, args) -> None:
+    _validated_indices(parser, [args.benchmark])
     suite = build_suite()
     problem = make_problem(
         suite[args.benchmark], n_train=args.samples,
@@ -49,15 +65,43 @@ def _cmd_run(args) -> None:
         print(f"wrote {args.out}")
 
 
-def _cmd_contest(args) -> None:
-    flows = {name: ALL_FLOWS[name] for name in args.flows}
+def _cmd_contest(parser, args) -> None:
+    _validated_indices(parser, args.benchmarks)
     run = run_contest(
-        args.benchmarks, flows, n_train=args.samples,
+        args.benchmarks, list(args.flows), n_train=args.samples,
         n_valid=args.samples, n_test=args.samples,
         effort=args.effort, master_seed=args.seed, verbose=True,
+        jobs=args.jobs, trials=args.trials, out_dir=args.out_dir,
+        resume=args.resume, keep_solutions=args.keep_solutions,
     )
     print()
     print(format_table3(run.table3()))
+    if args.out_dir:
+        print(f"\nrun directory: {args.out_dir} "
+              f"(re-report with: repro report --out-dir {args.out_dir})")
+
+
+def _format_win_rates(wins) -> str:
+    lines = [f"{'team':>8} {'best':>5} {'top1pct':>8}"]
+    for team in sorted(wins, key=lambda t: (-wins[t]["best"], t)):
+        w = wins[team]
+        lines.append(f"{team:>8} {w['best']:5d} {w['top1pct']:8d}")
+    return "\n".join(lines)
+
+
+def _cmd_report(parser, args) -> None:
+    from repro.runner import load_contest_run
+
+    try:
+        run = load_contest_run(args.out_dir)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    n_scores = sum(len(v) for v in run.scores_by_team.values())
+    print(f"run directory: {args.out_dir}")
+    print(f"{len(run.scores_by_team)} teams, {n_scores} stored scores\n")
+    print(format_table3(run.table3()))
+    print()
+    print(_format_win_rates(run.win_rates()))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,17 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
     contest_p.add_argument("--effort", choices=("small", "full"),
                            default="small")
     contest_p.add_argument("--seed", type=int, default=0)
+    contest_p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = in-process)")
+    contest_p.add_argument("--trials", type=int, default=1,
+                           help="seeds per task: seed, seed+1, ...")
+    contest_p.add_argument("--out-dir", default=None,
+                           help="persist records here (and resume)")
+    contest_p.add_argument("--no-resume", dest="resume",
+                           action="store_false",
+                           help="recompute even already-stored tasks")
+    contest_p.add_argument("--keep-solutions", action="store_true",
+                           help="also store each solution as .aag")
+
+    report_p = sub.add_parser(
+        "report", help="rebuild tables from a stored run (no execution)")
+    report_p.add_argument("--out-dir", required=True,
+                          help="run directory written by 'contest'")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         _cmd_list(args)
     elif args.command == "run":
-        _cmd_run(args)
+        _cmd_run(parser, args)
     elif args.command == "contest":
-        _cmd_contest(args)
+        _cmd_contest(parser, args)
+    elif args.command == "report":
+        _cmd_report(parser, args)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ accuracy)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +20,12 @@ from repro.sim.batch import output_predictions
 
 @dataclass
 class Score:
-    """Evaluation of one solution on one benchmark."""
+    """Evaluation of one solution on one benchmark.
+
+    ``seed`` identifies the trial in multi-seed runs (the runner's
+    store sets it when reconstructing scores); ``None`` for ad-hoc
+    single evaluations.
+    """
 
     benchmark: str
     method: str
@@ -30,6 +35,7 @@ class Score:
     num_ands: int
     levels: int
     legal: bool
+    seed: Optional[int] = None
 
     @property
     def overfit(self) -> float:

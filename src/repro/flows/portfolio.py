@@ -38,18 +38,42 @@ def run(
     effort: str = "small",
     master_seed: int = 0,
     flows: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> Solution:
-    """Run several team flows, keep the best by validation accuracy."""
+    """Run several team flows, keep the best by validation accuracy.
+
+    With ``jobs > 1`` the member flows execute concurrently on a
+    process pool through the runner task layer; each flow is a pure
+    function of (problem, seed), so the selected solution is identical
+    to the serial run's.
+    """
     from repro.flows import ALL_FLOWS
 
     names = list(flows) if flows is not None else list(ALL_FLOWS)
-    candidates = []
-    solutions = {}
-    for name in names:
-        solution = ALL_FLOWS[name](problem, effort=effort,
-                                   master_seed=master_seed)
-        solutions[name] = solution
-        candidates.append((name, solution.aig))
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.runner import run_flow_on_problem
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(run_flow_on_problem, problem, name,
+                            effort, master_seed)
+                for name in names
+            ]
+            # Collect in submission order: selection must see the same
+            # candidate order as the serial loop.
+            solutions = {
+                name: future.result()
+                for name, future in zip(names, futures)
+            }
+    else:
+        solutions = {
+            name: ALL_FLOWS[name](problem, effort=effort,
+                                  master_seed=master_seed)
+            for name in names
+        }
+    candidates = [(name, solutions[name].aig) for name in names]
     best = common.pick_best(candidates, problem.valid)
     if best is None:
         # No flows requested (or no flow produced a candidate): fall

@@ -1,0 +1,184 @@
+"""Parallel, resumable execution of contest task grids.
+
+``run_tasks`` fans a list of :class:`TaskSpec` out over a
+``ProcessPoolExecutor`` (``jobs=1`` stays fully in-process, no pool),
+skips tasks whose records already sit in the store, and appends each
+newly completed record as it lands — so an interrupted run loses at
+most the tasks in flight, and re-invoking with the same arguments
+resumes where it stopped.  Because workers are pure functions of the
+spec (see :mod:`repro.runner.task`), serial, parallel and resumed runs
+produce byte-identical records per task.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.runner.store import PathLike, RunStore
+from repro.runner.task import TaskResult, TaskSpec, run_task
+
+
+def contest_tasks(
+    benchmark_indices: Sequence[int],
+    flow_names: Union[Sequence[str], Dict[str, str]],
+    n_train: int,
+    n_valid: int,
+    n_test: int,
+    effort: str = "small",
+    master_seed: int = 0,
+    trials: int = 1,
+) -> List[TaskSpec]:
+    """The full (flow x benchmark x trial) grid as task specs.
+
+    ``flow_names`` is either a list of worker-resolvable names or a
+    ``{display name: resolvable name}`` mapping.  Trial ``t`` runs with
+    master seed ``master_seed + t``, so multi-seed sweeps stay
+    reproducible and each trial's records are independent store keys.
+    The grid iterates benchmark-outer (like the historical serial
+    loop), which lets the per-process problem cache serve every flow
+    of a benchmark from one sampling.
+    """
+    if isinstance(flow_names, dict):
+        named = list(flow_names.items())
+    else:
+        named = [(name, name) for name in flow_names]
+    specs: List[TaskSpec] = []
+    for idx in benchmark_indices:
+        for t in range(trials):
+            for team, flow in named:
+                specs.append(
+                    TaskSpec(
+                        benchmark=int(idx),
+                        flow=flow,
+                        seed=master_seed + t,
+                        n_train=n_train,
+                        n_valid=n_valid,
+                        n_test=n_test,
+                        effort=effort,
+                        team=team,
+                    )
+                )
+    return specs
+
+
+def _execute(
+    pending: Sequence[TaskSpec],
+    jobs: int,
+    keep_solutions: bool,
+) -> Iterable[TaskResult]:
+    """Yield results as they complete (serial: in spec order)."""
+    if jobs <= 1:
+        for spec in pending:
+            yield run_task(spec, keep_solutions)
+        return
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(run_task, spec, keep_solutions)
+            for spec in pending
+        }
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+
+
+def run_tasks(
+    specs: Sequence[TaskSpec],
+    jobs: int = 1,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    keep_solutions: bool = False,
+    verbose: bool = False,
+) -> Dict[str, Dict[str, object]]:
+    """Execute a task grid, returning ``{task key: record}``.
+
+    With a ``store``, completed records are read first (when
+    ``resume``) and every fresh result is appended as it lands, so the
+    store is valid after an interruption at any point.
+    """
+    specs = list(specs)
+    done: Dict[str, Dict[str, object]] = {}
+    if store is not None and resume:
+        stored = store.load_records()
+        done = {s.key: stored[s.key] for s in specs if s.key in stored}
+    pending = [s for s in specs if s.key not in done]
+    if verbose and done:
+        print(f"resume: {len(done)} of {len(specs)} tasks already stored")
+    for result in _execute(pending, jobs, keep_solutions):
+        done[result.spec.key] = result.record
+        if store is not None:
+            store.append(result.record, aag=result.aag)
+        if verbose:
+            r = result.record
+            print(
+                f"{r['benchmark_name']} {r['team']} s{r['seed']}: "
+                f"acc={r['test_accuracy']:.3f} ands={r['num_ands']} "
+                f"[{r['method']}]"
+            )
+    return done
+
+
+def run_contest_tasks(
+    specs: Sequence[TaskSpec],
+    jobs: int = 1,
+    out_dir: Optional[PathLike] = None,
+    resume: bool = True,
+    keep_solutions: bool = False,
+    verbose: bool = False,
+):
+    """Run a grid and reconstruct a :class:`~repro.analysis.ContestRun`.
+
+    The run directory (when given) becomes the source of truth: scores
+    are rebuilt from stored records, so a completed directory can be
+    re-reported later without executing anything (``repro.cli report``).
+    """
+    from repro.analysis import ContestRun
+    from repro.runner.task import score_from_record
+
+    specs = list(specs)
+    store = None
+    if out_dir is not None:
+        store = RunStore(out_dir)
+        if specs:
+            first = specs[0]
+            store.ensure_manifest(
+                {
+                    "n_train": first.n_train,
+                    "n_valid": first.n_valid,
+                    "n_test": first.n_test,
+                    "effort": first.effort,
+                    "benchmarks": sorted({s.benchmark for s in specs}),
+                    "flows": sorted({s.flow for s in specs}),
+                    "seeds": sorted({s.seed for s in specs}),
+                }
+            )
+    records = run_tasks(
+        specs,
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        keep_solutions=keep_solutions,
+        verbose=verbose,
+    )
+    scores_by_team: Dict[str, List] = {}
+    for spec in specs:
+        scores_by_team.setdefault(spec.team_name, []).append(
+            score_from_record(records[spec.key])
+        )
+    return ContestRun(scores_by_team)
+
+
+def load_contest_run(out_dir: PathLike):
+    """Rebuild a :class:`~repro.analysis.ContestRun` from a directory,
+    without executing any task."""
+    from repro.analysis import ContestRun
+
+    store = RunStore(out_dir)
+    scores = store.scores_by_team()
+    if not scores:
+        raise FileNotFoundError(
+            f"no records found under {store.root} (expected "
+            f"{store.records_path.name})"
+        )
+    return ContestRun(scores)

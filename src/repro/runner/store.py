@@ -1,0 +1,211 @@
+"""On-disk result store for contest runs.
+
+Layout of a run directory::
+
+    out_dir/
+      manifest.json   # run configuration (sizes, effort, schema)
+      records.jsonl   # one canonical JSON record per completed task
+      solutions/      # optional ASCII AIGER circuits, one per task
+
+Records are appended as tasks complete (in completion order, which may
+differ between serial and parallel runs); identity lives in each
+record's ``key`` field, so readers index by key and the *content* per
+key is byte-identical regardless of jobs count.  If a record for the
+same key appears twice (e.g. a rerun with ``resume=False`` into the
+same directory), the last occurrence wins.
+
+Every line is serialized with ``sort_keys`` and fixed separators, so a
+record's bytes are a pure function of its values — the property the
+golden determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.contest.evaluate import Score
+from repro.runner.task import RECORD_SCHEMA, TaskSpec, score_from_record
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+RECORDS_NAME = "records.jsonl"
+SOLUTIONS_DIR = "solutions"
+
+#: Manifest keys that must match between a store and a resuming run.
+_CONFIG_KEYS = ("schema", "n_train", "n_valid", "n_test", "effort")
+
+#: Grid keys that grow as a run is extended (union semantics).
+_GRID_KEYS = ("benchmarks", "flows", "seeds")
+
+
+def canonical_line(record: Dict[str, object]) -> str:
+    """The one true serialization of a record (no trailing newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _solution_filename(key: str) -> str:
+    """Filesystem-safe name for a task's circuit."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", key) + ".aag"
+
+
+class RunStore:
+    """Append-only JSONL store under one run directory."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    @property
+    def records_path(self) -> Path:
+        return self.root / RECORDS_NAME
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def solutions_dir(self) -> Path:
+        return self.root / SOLUTIONS_DIR
+
+    # -- manifest ----------------------------------------------------
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+
+    def ensure_manifest(self, config: Dict[str, object]) -> None:
+        """Create the manifest, or verify it matches ``config``.
+
+        A run directory is bound to one sampling configuration; mixing
+        sizes, effort levels or record schemas in one store would
+        silently corrupt resumed runs, so a mismatch is an error.  The
+        grid fields (benchmarks/flows/seeds), by contrast, legitimately
+        *grow* when a run is extended, so they are unioned and the
+        manifest rewritten to keep describing the whole store.
+        """
+        config = {"schema": RECORD_SCHEMA, **config}
+        existing = self.read_manifest()
+        if existing is None:
+            merged = config
+        else:
+            for key in _CONFIG_KEYS:
+                if key in config and existing.get(key) != config.get(key):
+                    raise ValueError(
+                        f"run directory {self.root} was created with "
+                        f"{key}={existing.get(key)!r}, cannot resume with "
+                        f"{key}={config.get(key)!r} (use a fresh --out-dir)"
+                    )
+            merged = {**existing, **config}
+            for key in _GRID_KEYS:
+                both = set(existing.get(key, ())) | set(config.get(key, ()))
+                if both:
+                    merged[key] = sorted(both)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.manifest_path.write_text(
+            json.dumps(merged, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- records -----------------------------------------------------
+
+    def load_records(self) -> Dict[str, Dict[str, object]]:
+        """All stored records, indexed by task key (last wins).
+
+        A run killed mid-append (SIGKILL, OOM, disk full) leaves a
+        truncated JSON fragment as the *last* line; that is expected
+        damage — the fragment is dropped and its task simply re-runs
+        on resume.  An unparsable line anywhere else means the file
+        was edited or corrupted, and raises.
+        """
+        records: Dict[str, Dict[str, object]] = {}
+        if not self.records_path.exists():
+            return records
+        lines = self.records_path.read_text(encoding="utf-8").splitlines()
+        stripped = [ln.strip() for ln in lines if ln.strip()]
+        for pos, line in enumerate(stripped):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if pos == len(stripped) - 1:
+                    break  # torn tail from an interrupted append
+                raise ValueError(
+                    f"{self.records_path} line {pos + 1} is not valid "
+                    f"JSON (mid-file corruption, not an interrupted "
+                    f"append): {line[:60]!r}"
+                )
+            schema = record.get("schema", RECORD_SCHEMA)
+            if schema != RECORD_SCHEMA:
+                raise ValueError(
+                    f"{self.records_path} holds a schema-{schema} "
+                    f"record (key {record.get('key')!r}); this "
+                    f"version reads schema {RECORD_SCHEMA} — rerun "
+                    f"into a fresh directory"
+                )
+            records[record["key"]] = record
+        return records
+
+    def append(self, record: Dict[str, object],
+               aag: Optional[str] = None) -> None:
+        """Persist one completed task (record line + optional .aag)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        # A previous append torn mid-line (crash during write) leaves
+        # a fragment with no trailing newline.  Truncate it away so
+        # interior lines are always complete records — the fragment's
+        # task was never marked done, so it re-runs anyway.
+        if self.records_path.exists() and \
+                self.records_path.stat().st_size > 0:
+            with self.records_path.open("rb+") as fh:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    fh.seek(0)
+                    data = fh.read()
+                    fh.truncate(data.rfind(b"\n") + 1)
+        with self.records_path.open("a", encoding="utf-8") as fh:
+            fh.write(canonical_line(record) + "\n")
+        if aag is not None:
+            self.solutions_dir.mkdir(parents=True, exist_ok=True)
+            path = self.solutions_dir / _solution_filename(record["key"])
+            path.write_text(aag, encoding="ascii")
+
+    def solution_path(self, key: str) -> Path:
+        return self.solutions_dir / _solution_filename(key)
+
+    # -- reconstruction ----------------------------------------------
+
+    def scores_by_team(
+        self, specs: Optional[List[TaskSpec]] = None
+    ) -> Dict[str, List[Score]]:
+        """Rebuild the ``ContestRun`` payload from stored records.
+
+        With ``specs`` the scores follow the given task order exactly
+        (missing tasks raise).  Without, all stored records are used,
+        ordered by (team, benchmark index, seed) for determinism.
+        """
+        records = self.load_records()
+        out: Dict[str, List[Score]] = {}
+        if specs is not None:
+            missing = [s.key for s in specs if s.key not in records]
+            if missing:
+                raise KeyError(
+                    f"run directory {self.root} is missing "
+                    f"{len(missing)} task(s), e.g. {missing[0]!r}; "
+                    f"rerun the contest with --resume to fill them in"
+                )
+            for spec in specs:
+                out.setdefault(spec.team_name, []).append(
+                    score_from_record(records[spec.key])
+                )
+            return out
+        ordered = sorted(
+            records.values(),
+            key=lambda r: (str(r.get("team", r["flow"])),
+                           r["benchmark"], r["seed"]),
+        )
+        for record in ordered:
+            team = str(record.get("team", record["flow"]))
+            out.setdefault(team, []).append(score_from_record(record))
+        return out

@@ -1,0 +1,268 @@
+"""The unit of contest work: one (benchmark, flow, seed) task.
+
+A :class:`TaskSpec` names everything a worker needs to recompute its
+result from scratch — the benchmark *index*, the flow *name*, the
+master seed and the sample sizes — so the worker function
+:func:`run_task` is a pure function of the spec.  That purity is what
+makes the parallel runner deterministic (any process, any order, same
+record), makes resume sound (a stored record fully substitutes for a
+re-execution), and makes the golden determinism tests possible.
+
+Flows are referenced by name, never by callable: either a key of
+``repro.flows.ALL_FLOWS`` or a ``"module:qualname"`` dotted path (the
+escape hatch benches and downstream users need for custom flows).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.contest.evaluate import Score, evaluate_solution
+from repro.contest.problem import LearningProblem, Solution
+
+#: Bump when the record layout changes incompatibly.
+RECORD_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One contest execution: flow x benchmark x seed at fixed sizes."""
+
+    benchmark: int  # index into build_suite()
+    flow: str  # ALL_FLOWS key or "module:qualname" dotted path
+    seed: int  # master seed for sampling and the flow's RNG streams
+    n_train: int
+    n_valid: int
+    n_test: int
+    effort: str = "small"
+    team: Optional[str] = None  # display name; defaults to ``flow``
+
+    @property
+    def key(self) -> str:
+        """Stable identity of the task within one run directory."""
+        return f"b{self.benchmark:03d}:{self.flow}:s{self.seed}"
+
+    @property
+    def team_name(self) -> str:
+        return self.team if self.team is not None else self.flow
+
+
+def resolve_flow(name: str) -> Callable:
+    """Turn a flow name into its callable.
+
+    Plain names resolve through ``ALL_FLOWS``; names containing a
+    colon are treated as ``module:qualname`` import paths.
+    """
+    from repro.flows import ALL_FLOWS
+
+    if name in ALL_FLOWS:
+        return ALL_FLOWS[name]
+    if ":" in name:
+        module_name, _, qualname = name.partition(":")
+        obj = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj
+    raise KeyError(
+        f"unknown flow {name!r}: not in ALL_FLOWS and not a "
+        f"'module:qualname' path"
+    )
+
+
+def flow_name_for(name: str, flow: Callable) -> str:
+    """The worker-resolvable name of ``flow``, preferring ``name``.
+
+    ``run_contest`` accepts ``{display name: callable}`` dictionaries;
+    workers only ship names, so the callable must be re-importable.
+    """
+    from repro.flows import ALL_FLOWS
+
+    if ALL_FLOWS.get(name) is flow:
+        return name
+    dotted = f"{getattr(flow, '__module__', '?')}:" \
+             f"{getattr(flow, '__qualname__', '?')}"
+    try:
+        if resolve_flow(dotted) is flow:
+            return dotted
+    except (ImportError, AttributeError, KeyError):
+        pass
+    raise ValueError(
+        f"flow {name!r} ({flow!r}) is not importable by name; parallel "
+        f"and stored runs need flows reachable via ALL_FLOWS or a "
+        f"module-level 'module:qualname' path"
+    )
+
+
+@lru_cache(maxsize=4)
+def _cached_problem(
+    benchmark: int, n_train: int, n_valid: int, n_test: int, seed: int
+) -> LearningProblem:
+    """Per-process problem cache.
+
+    Sampling is deterministic in these five arguments, so caching
+    cannot break task purity — it only stops a serial contest (whose
+    task grid iterates benchmark-outer) from re-sampling the same
+    datasets once per flow.  Flows receive the shared instance; they
+    already must not mutate problem data (the serial contest reused
+    one instance across flows long before the runner existed).
+    """
+    from repro.contest import build_suite, make_problem
+
+    suite = build_suite()
+    if not 0 <= benchmark < len(suite):
+        raise IndexError(
+            f"benchmark index {benchmark} out of range 0..{len(suite) - 1}"
+        )
+    return make_problem(
+        suite[benchmark], n_train=n_train, n_valid=n_valid,
+        n_test=n_test, master_seed=seed,
+    )
+
+
+def make_task_problem(spec: TaskSpec) -> LearningProblem:
+    """Sample the task's problem (same recipe in every process)."""
+    return _cached_problem(
+        spec.benchmark, spec.n_train, spec.n_valid, spec.n_test, spec.seed
+    )
+
+
+def dataset_fingerprint(
+    benchmark: int,
+    n_train: int,
+    n_valid: int,
+    n_test: int,
+    master_seed: int = 0,
+) -> str:
+    """SHA-256 over a problem's sampled bytes (split-order sensitive).
+
+    Identical fingerprints across processes prove the parallel runner's
+    workers see exactly the data a serial run would have seen.
+    """
+    spec = TaskSpec(
+        benchmark=benchmark, flow="-", seed=master_seed,
+        n_train=n_train, n_valid=n_valid, n_test=n_test,
+    )
+    problem = make_task_problem(spec)
+    digest = hashlib.sha256()
+    for ds in (problem.train, problem.valid, problem.test):
+        digest.update(np.ascontiguousarray(ds.X).tobytes())
+        digest.update(np.ascontiguousarray(ds.y).tobytes())
+    return digest.hexdigest()
+
+
+def _json_safe(value):
+    """Conservatively coerce metadata values into JSON-stable types."""
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return _json_safe(value.item())
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def score_to_record(score: Score) -> Dict[str, object]:
+    """Serialize a Score losslessly (floats keep their exact value).
+
+    ``seed`` is emitted only when set: freshly evaluated scores carry
+    ``None`` and the task spec's seed (already in the full record)
+    must not be clobbered.
+    """
+    record = {
+        "benchmark_name": score.benchmark,
+        "method": score.method,
+        "test_accuracy": float(score.test_accuracy),
+        "valid_accuracy": float(score.valid_accuracy),
+        "train_accuracy": float(score.train_accuracy),
+        "num_ands": int(score.num_ands),
+        "levels": int(score.levels),
+        "legal": bool(score.legal),
+    }
+    if score.seed is not None:
+        record["seed"] = int(score.seed)
+    return record
+
+
+def score_from_record(record: Dict[str, object]) -> Score:
+    """Inverse of :func:`score_to_record` (exact round-trip).
+
+    The record's task-level ``seed`` is attached to the Score, so
+    reconstructed multi-trial runs stay seed-aligned (``win_rates``
+    compares like trials even when a store is partially complete).
+    """
+    return Score(
+        benchmark=record["benchmark_name"],
+        method=record["method"],
+        test_accuracy=record["test_accuracy"],
+        valid_accuracy=record["valid_accuracy"],
+        train_accuracy=record["train_accuracy"],
+        num_ands=record["num_ands"],
+        levels=record["levels"],
+        legal=record["legal"],
+        seed=record.get("seed"),
+    )
+
+
+@dataclass
+class TaskResult:
+    """What a worker sends back: the record plus the optional circuit."""
+
+    spec: TaskSpec
+    record: Dict[str, object]
+    aag: Optional[str] = None
+
+
+def run_task(spec: TaskSpec, keep_solution: bool = False) -> TaskResult:
+    """Execute one task from scratch.  Pure: output depends only on
+    ``spec`` (and ``keep_solution``), never on process or ordering."""
+    from repro.aig.aiger import dumps_aag
+
+    problem = make_task_problem(spec)
+    flow = resolve_flow(spec.flow)
+    solution = flow(problem, effort=spec.effort, master_seed=spec.seed)
+    score = evaluate_solution(problem, solution)
+    record = {
+        "schema": RECORD_SCHEMA,
+        "key": spec.key,
+        "benchmark": spec.benchmark,
+        "flow": spec.flow,
+        "team": spec.team_name,
+        "seed": spec.seed,
+        "n_train": spec.n_train,
+        "n_valid": spec.n_valid,
+        "n_test": spec.n_test,
+        "effort": spec.effort,
+        "solution_metadata": _json_safe(solution.metadata),
+    }
+    record.update(score_to_record(score))
+    return TaskResult(
+        spec=spec,
+        record=record,
+        aag=dumps_aag(solution.aig) if keep_solution else None,
+    )
+
+
+def run_flow_on_problem(
+    problem: LearningProblem,
+    flow: str,
+    effort: str = "small",
+    master_seed: int = 0,
+) -> Solution:
+    """Process-pool-friendly flow invocation on an in-memory problem.
+
+    Used by the portfolio's parallel mode, where the problem is already
+    sampled in the parent and shipped (pickled) to workers.
+    """
+    return resolve_flow(flow)(problem, effort=effort, master_seed=master_seed)

@@ -86,6 +86,62 @@ class TestVirtualBestAndWins:
         # top-1% includes near ties.
         assert wins["alpha"]["top1pct"] >= wins["alpha"]["best"]
 
+    def test_win_rates_exact_tie_counts_both_best(self):
+        runs = {
+            "a": [_score("ex00", "a", 0.9, 100)],
+            "b": [_score("ex00", "b", 0.9, 50)],
+            "c": [_score("ex00", "c", 0.5, 10)],
+        }
+        wins = win_rates(runs)
+        assert wins["a"]["best"] == 1
+        assert wins["b"]["best"] == 1
+        assert wins["c"]["best"] == 0
+
+    def test_win_rates_tolerance_is_absolute(self):
+        # top = 0.90; the default 0.01 margin is one accuracy *point*
+        # (absolute), so 0.89 is in and anything below is out.
+        runs = {
+            "top": [_score("ex00", "t", 0.90, 10)],
+            "edge": [_score("ex00", "e", 0.89, 10)],
+            "below": [_score("ex00", "b", 0.8899, 10)],
+        }
+        wins = win_rates(runs)
+        assert wins["top"]["top1pct"] == 1
+        assert wins["edge"]["top1pct"] == 1
+        assert wins["below"]["top1pct"] == 0
+        # A wider absolute margin admits the third team too.
+        wide = win_rates(runs, top_tolerance=0.02)
+        assert wide["below"]["top1pct"] == 1
+
+    def test_win_rates_multi_trial_counts_every_trial(self):
+        # Two seed-aligned trials on one benchmark: team a wins the
+        # first, team b the second.  Both wins must be counted instead
+        # of the last trial silently overwriting the first.
+        runs = {
+            "a": [_score("ex00", "a", 0.9, 10), _score("ex00", "a", 0.6, 10)],
+            "b": [_score("ex00", "b", 0.7, 10), _score("ex00", "b", 0.8, 10)],
+        }
+        wins = win_rates(runs)
+        assert wins["a"]["best"] == 1
+        assert wins["b"]["best"] == 1
+
+    def test_win_rates_partial_trials_align_by_seed(self):
+        # An interrupted store: team a has seeds 0 and 1, team b only
+        # seed 1.  b's lone score must be compared at seed 1 (where it
+        # wins), never positionally against a's seed-0 score.
+        def seeded(team, acc, seed):
+            s = _score("ex00", team, acc, 10)
+            s.seed = seed
+            return s
+
+        runs = {
+            "a": [seeded("a", 0.9, 0), seeded("a", 0.6, 1)],
+            "b": [seeded("b", 0.8, 1)],
+        }
+        wins = win_rates(runs)
+        assert wins["a"]["best"] == 1  # seed 0, uncontested
+        assert wins["b"]["best"] == 1  # seed 1: 0.8 > 0.6
+
 
 class TestPareto:
     def test_frontier_monotone(self):
@@ -116,6 +172,34 @@ class TestPareto:
         }
         frontier = accuracy_size_tradeoff(runs)
         assert all(acc <= 0.7 + 1e-9 for _, acc in frontier)
+
+    def test_empty_points_give_empty_frontier(self):
+        assert pareto_curve([]) == []
+        assert accuracy_size_tradeoff({}) == []
+        assert accuracy_size_tradeoff({"a": []}) == []
+
+    def test_all_dominated_collapse_to_one_point(self):
+        # (10, 0.9) dominates every other point: smaller and better.
+        points = [(10, 0.9), (20, 0.8), (30, 0.7), (40, 0.9)]
+        assert pareto_curve(points) == [(10, 0.9)]
+
+    def test_size_needed_edge_cases(self):
+        import math
+
+        assert math.isnan(size_needed_for_accuracy([], 0.5))
+        frontier = [(50, 0.8), (100, 0.9)]
+        # Unreachable accuracy -> NaN, not an arbitrary size.
+        assert math.isnan(size_needed_for_accuracy(frontier, 0.95))
+        assert size_needed_for_accuracy(frontier, 0.8) == 50
+
+    def test_accuracy_grid_honored(self, runs):
+        import math
+
+        points = accuracy_size_tradeoff(runs, accuracy_grid=(0.5, 0.99))
+        assert [acc for _, acc in points] == [0.5, 0.99]
+        reachable, unreachable = points[0][0], points[1][0]
+        assert not math.isnan(reachable)
+        assert math.isnan(unreachable)
 
 
 class TestPerCategory:

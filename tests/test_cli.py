@@ -1,0 +1,108 @@
+"""CLI coverage: list / run / contest / report plus validation errors."""
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    main(argv)
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        _run(["list"])
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) == 100
+        assert lines[0].startswith("ex00")
+        assert "comparator" in out
+
+
+class TestRun:
+    def test_run_single_flow(self, capsys, tmp_path):
+        out_path = tmp_path / "sol.aag"
+        _run(["run", "--benchmark", "74", "--flow", "team10",
+              "--samples", "32", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "benchmark: ex74" in out
+        assert "test acc:" in out
+        assert out_path.exists()
+        assert out_path.read_text().startswith("aag ")
+
+    def test_bad_benchmark_index(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["run", "--benchmark", "200", "--flow", "team10"])
+        assert exc.value.code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_negative_benchmark_index(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["run", "--benchmark", "-1", "--flow", "team10"])
+        assert exc.value.code == 2
+
+    def test_unknown_flow(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["run", "--benchmark", "0", "--flow", "team99"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestContestAndReport:
+    def test_contest_writes_store_and_report_reads_it(self, capsys,
+                                                      tmp_path):
+        out_dir = tmp_path / "run"
+        _run(["contest", "--benchmarks", "74", "--flows", "team10",
+              "--samples", "32", "--out-dir", str(out_dir)])
+        contest_out = capsys.readouterr().out
+        assert "test acc" in contest_out
+        assert (out_dir / "records.jsonl").exists()
+        assert (out_dir / "manifest.json").exists()
+
+        _run(["report", "--out-dir", str(out_dir)])
+        report_out = capsys.readouterr().out
+        assert "1 teams, 1 stored scores" in report_out
+        assert "team10" in report_out
+        assert "top1pct" in report_out
+        # The report's Table III row matches the contest's.
+        contest_row = [ln for ln in contest_out.splitlines()
+                       if ln.strip().startswith("team10")][-1]
+        assert contest_row in report_out
+
+    def test_contest_resume_reports_skip(self, capsys, tmp_path):
+        out_dir = tmp_path / "run"
+        argv = ["contest", "--benchmarks", "74", "--flows", "team10",
+                "--samples", "32", "--out-dir", str(out_dir)]
+        _run(argv)
+        capsys.readouterr()
+        _run(argv)
+        assert "resume: 1 of 1" in capsys.readouterr().out
+
+    def test_contest_parallel_jobs(self, capsys, tmp_path):
+        _run(["contest", "--benchmarks", "74", "--flows", "team10",
+              "--samples", "32", "--jobs", "2",
+              "--out-dir", str(tmp_path / "r")])
+        assert "team10" in capsys.readouterr().out
+
+    def test_contest_bad_benchmark(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["contest", "--benchmarks", "0", "101",
+                  "--flows", "team10"])
+        assert exc.value.code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_contest_unknown_flow(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["contest", "--benchmarks", "0", "--flows", "teamXX"])
+        assert exc.value.code == 2
+
+    def test_report_missing_directory(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            _run(["report", "--out-dir", str(tmp_path / "nope")])
+        assert exc.value.code == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_missing_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run([])
+        assert exc.value.code == 2

@@ -1,0 +1,335 @@
+"""The parallel/resumable runner: determinism, store, resume.
+
+The golden property: a task record is a pure function of its
+(benchmark, flow, seed, sizes) spec.  Serial, parallel and resumed
+runs must therefore produce byte-identical record lines per task and
+identical reconstructed tables.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.aig.aiger import read_aag
+from repro.contest.evaluate import Score
+from repro.runner import (
+    RunStore,
+    TaskSpec,
+    canonical_line,
+    contest_tasks,
+    load_contest_run,
+    run_contest_tasks,
+    run_task,
+    run_tasks,
+    score_from_record,
+    score_to_record,
+)
+from repro.runner.task import _json_safe, flow_name_for, resolve_flow
+
+# Small but non-degenerate grid: two benchmarks x two flows x two
+# seeds.  ex50 is an easy control cone, ex74 is 16-parity (hard for
+# trees); team10 is fast, team02 exercises rules + metadata.
+GRID = dict(
+    benchmark_indices=[50, 74],
+    flow_names=["team10", "team02"],
+    n_train=48, n_valid=48, n_test=48,
+)
+
+
+def _grid_specs():
+    return contest_tasks(trials=2, **GRID)
+
+
+def _lines_by_key(store_root):
+    lines = {}
+    for line in (store_root / "records.jsonl").read_text().splitlines():
+        if line:
+            lines[json.loads(line)["key"]] = line
+    return lines
+
+
+class TestScoreRoundTrip:
+    @pytest.mark.parametrize(
+        "acc",
+        [0.0, 1.0, 0.1 + 0.2, 1.0 / 3.0, 0.8149999999999998,
+         float(np.float64(0.69140625)), 5e-324,
+         float(np.nextafter(0.5, 0.0))],
+    )
+    def test_float_exact(self, acc):
+        score = Score(
+            benchmark="ex00", method="m", test_accuracy=acc,
+            valid_accuracy=acc / 3, train_accuracy=1.0 - acc / 7,
+            num_ands=17, levels=4, legal=True,
+        )
+        record = score_to_record(score)
+        # Through the canonical serialization, not just the dict.
+        revived = score_from_record(json.loads(canonical_line(record)))
+        assert revived == score  # dataclass equality: exact floats
+
+    def test_seed_round_trips_when_set(self):
+        score = Score(
+            benchmark="ex03", method="m", test_accuracy=0.5,
+            valid_accuracy=0.5, train_accuracy=0.5,
+            num_ands=1, levels=1, legal=True, seed=7,
+        )
+        revived = score_from_record(json.loads(
+            canonical_line(score_to_record(score))))
+        assert revived == score
+        assert revived.seed == 7
+        # Fresh evaluations carry seed=None and must not emit the key
+        # (the task spec's seed owns that slot in full records).
+        assert "seed" not in score_to_record(
+            Score("ex00", "m", 0.5, 0.5, 0.5, 1, 1, True))
+
+    def test_legal_flag_and_ints(self):
+        score = Score(
+            benchmark="ex99", method="overweight", test_accuracy=0.75,
+            valid_accuracy=0.5, train_accuracy=0.25,
+            num_ands=123456, levels=0, legal=False,
+        )
+        revived = score_from_record(json.loads(
+            canonical_line(score_to_record(score))))
+        assert revived == score
+        assert revived.legal is False
+        assert isinstance(revived.num_ands, int)
+
+    def test_canonical_line_is_stable(self):
+        record = {"b": 1.5, "a": "x", "c": [1, 2], "key": "k"}
+        assert canonical_line(record) == canonical_line(dict(
+            reversed(list(record.items()))))
+
+    def test_json_safe_handles_numpy_and_objects(self):
+        coerced = _json_safe({
+            "f": np.float64(0.5), "i": np.int64(3),
+            "arr": np.array([1, 2]), "tup": (1, "a"),
+            "obj": object(), "none": None, "flag": np.True_,
+        })
+        assert coerced["f"] == 0.5 and coerced["i"] == 3
+        assert coerced["arr"] == [1, 2] and coerced["tup"] == [1, "a"]
+        assert isinstance(coerced["obj"], str)
+        assert coerced["none"] is None and coerced["flag"] is True
+        json.dumps(coerced)  # everything is serializable
+
+
+class TestFlowResolution:
+    def test_all_flows_names_resolve(self):
+        from repro.flows import ALL_FLOWS
+
+        for name, flow in ALL_FLOWS.items():
+            assert resolve_flow(name) is flow
+            assert flow_name_for(name, flow) == name
+
+    def test_dotted_path_resolves(self):
+        from repro.flows import team10
+
+        name = flow_name_for("mine", team10.run)
+        assert ":" in name
+        assert resolve_flow(name) is team10.run
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_flow("team99")
+        with pytest.raises(ValueError):
+            flow_name_for("lam", lambda p, **kw: None)
+
+
+class TestTaskPurity:
+    def test_run_task_is_deterministic(self):
+        spec = TaskSpec(benchmark=50, flow="team10", seed=1,
+                        n_train=48, n_valid=48, n_test=48)
+        first = run_task(spec)
+        second = run_task(spec)
+        assert canonical_line(first.record) == canonical_line(second.record)
+
+    def test_bad_benchmark_index_raises(self):
+        spec = TaskSpec(benchmark=100, flow="team10", seed=0,
+                        n_train=8, n_valid=8, n_test=8)
+        with pytest.raises(IndexError):
+            run_task(spec)
+
+
+class TestGoldenDeterminism:
+    """jobs=1 == jobs=4 == resumed, byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def stores(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("golden")
+        specs = _grid_specs()
+        serial = run_contest_tasks(specs, jobs=1, out_dir=root / "serial")
+        parallel = run_contest_tasks(specs, jobs=4,
+                                     out_dir=root / "parallel")
+        # Resumed: first half with jobs=1, then the full grid at jobs=2.
+        run_contest_tasks(specs[: len(specs) // 2], jobs=1,
+                          out_dir=root / "resumed")
+        resumed = run_contest_tasks(specs, jobs=2, out_dir=root / "resumed")
+        return root, specs, serial, parallel, resumed
+
+    def test_records_byte_identical(self, stores):
+        root, specs, *_ = stores
+        serial = _lines_by_key(root / "serial")
+        parallel = _lines_by_key(root / "parallel")
+        resumed = _lines_by_key(root / "resumed")
+        assert set(serial) == {s.key for s in specs}
+        assert serial == parallel
+        assert serial == resumed
+
+    def test_table3_identical(self, stores):
+        _, _, serial, parallel, resumed = stores
+        assert serial.table3() == parallel.table3()
+        assert serial.table3() == resumed.table3()
+
+    def test_store_reload_matches_in_memory(self, stores):
+        root, _, serial, *_ = stores
+        loaded = load_contest_run(root / "serial")
+        assert loaded.table3() == serial.table3()
+        assert loaded.win_rates() == serial.win_rates()
+
+    def test_resume_skips_completed_tasks(self, stores, monkeypatch):
+        root, specs, serial, *_ = stores
+
+        def boom(spec, keep_solution=False):
+            raise AssertionError(f"re-executed stored task {spec.key}")
+
+        monkeypatch.setattr("repro.runner.runner.run_task", boom)
+        again = run_contest_tasks(specs, jobs=1, out_dir=root / "serial")
+        assert again.table3() == serial.table3()
+
+
+class TestStore:
+    def test_manifest_conflict_rejected(self, tmp_path):
+        specs = contest_tasks([74], ["team10"], 32, 32, 32)
+        run_contest_tasks(specs, out_dir=tmp_path)
+        bigger = contest_tasks([74], ["team10"], 64, 64, 64)
+        with pytest.raises(ValueError, match="n_train"):
+            run_contest_tasks(bigger, out_dir=tmp_path)
+
+    def test_duplicate_records_last_wins(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append({"key": "k", "benchmark": 0, "flow": "f", "seed": 0,
+                      "benchmark_name": "ex00", "method": "a",
+                      "test_accuracy": 0.1, "valid_accuracy": 0.1,
+                      "train_accuracy": 0.1, "num_ands": 1, "levels": 1,
+                      "legal": True})
+        second = dict(store.load_records()["k"], test_accuracy=0.9)
+        store.append(second)
+        assert store.load_records()["k"]["test_accuracy"] == 0.9
+
+    def test_solutions_written_and_readable(self, tmp_path):
+        specs = contest_tasks([74], ["team10"], 32, 32, 32)
+        run_tasks(specs, store=RunStore(tmp_path), keep_solutions=True)
+        path = RunStore(tmp_path).solution_path(specs[0].key)
+        assert path.exists()
+        aig = read_aag(path)
+        record = RunStore(tmp_path).load_records()[specs[0].key]
+        assert aig.num_ands == record["num_ands"]
+
+    def test_manifest_grid_unions_on_extension(self, tmp_path):
+        run_contest_tasks(contest_tasks([74], ["team10"], 32, 32, 32),
+                          out_dir=tmp_path)
+        run_contest_tasks(contest_tasks([50, 74], ["team10", "team02"],
+                                        32, 32, 32),
+                          out_dir=tmp_path)
+        manifest = RunStore(tmp_path).read_manifest()
+        assert manifest["benchmarks"] == [50, 74]
+        assert manifest["flows"] == ["team02", "team10"]
+
+    def test_schema_mismatch_rejected_on_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append({"key": "k", "schema": 999})
+        with pytest.raises(ValueError, match="schema-999"):
+            store.load_records()
+
+    def test_torn_tail_is_recoverable(self, tmp_path):
+        """A run killed mid-append must not brick the store."""
+        specs = contest_tasks([50, 74], ["team10"], 32, 32, 32)
+        run_contest_tasks(specs, out_dir=tmp_path)
+        store = RunStore(tmp_path)
+        intact = store.load_records()
+        # Simulate SIGKILL mid-write: a truncated fragment, no newline.
+        with store.records_path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "b099:team10:s0", "test_acc')
+        assert store.load_records() == intact
+        # Appending after the tear truncates the fragment (no merge,
+        # no interior garbage) and lands the new record cleanly...
+        store.append(dict(intact[specs[0].key], key="extra"))
+        after = store.load_records()
+        assert "extra" in after
+        assert set(after) == set(intact) | {"extra"}
+        # ...and a resumed contest still sees every completed task.
+        again = run_contest_tasks(specs, out_dir=tmp_path)
+        assert {s.key for s in specs} <= set(store.load_records())
+        assert again.table3()  # reconstructs fine
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append({"key": "a", "schema": 1})
+        store.records_path.write_text(
+            "garbage not json\n" + store.records_path.read_text())
+        with pytest.raises(ValueError, match="line 1"):
+            store.load_records()
+
+    def test_missing_tasks_reported(self, tmp_path):
+        specs = contest_tasks([74], ["team10"], 32, 32, 32)
+        run_contest_tasks(specs[:0], out_dir=tmp_path)  # just manifest
+        with pytest.raises(FileNotFoundError):
+            load_contest_run(tmp_path)
+        store = RunStore(tmp_path)
+        with pytest.raises(KeyError, match="missing"):
+            store.scores_by_team(specs)
+
+
+class TestRunContestWrapper:
+    def test_flows_dict_and_list_agree(self):
+        from repro.analysis import run_contest
+        from repro.flows import ALL_FLOWS
+
+        by_dict = run_contest([74], {"team10": ALL_FLOWS["team10"]},
+                              n_train=32, n_valid=32, n_test=32)
+        by_list = run_contest([74], ["team10"],
+                              n_train=32, n_valid=32, n_test=32)
+        assert by_dict.table3() == by_list.table3()
+
+    def test_trials_add_seeded_scores(self):
+        from repro.analysis import run_contest
+
+        run = run_contest([74], ["team10"], n_train=32, n_valid=32,
+                          n_test=32, trials=3)
+        assert len(run.scores_by_team["team10"]) == 3
+
+    def test_non_importable_callable_still_runs_inline(self):
+        from repro.analysis import run_contest
+        from repro.flows import ALL_FLOWS
+
+        wrapped = lambda p, **kw: ALL_FLOWS["team10"](p, **kw)  # noqa: E731
+        run = run_contest([74], {"mine": wrapped},
+                          n_train=32, n_valid=32, n_test=32)
+        direct = run_contest([74], ["team10"],
+                             n_train=32, n_valid=32, n_test=32)
+        assert [s.test_accuracy for s in run.scores_by_team["mine"]] == \
+            [s.test_accuracy for s in direct.scores_by_team["team10"]]
+
+    def test_non_importable_callable_rejected_for_parallel_or_store(
+            self, tmp_path):
+        from repro.analysis import run_contest
+
+        flows = {"lam": lambda p, **kw: None}
+        with pytest.raises(ValueError, match="importable"):
+            run_contest([74], flows, n_train=8, n_valid=8, n_test=8,
+                        jobs=2)
+        with pytest.raises(ValueError, match="importable"):
+            run_contest([74], flows, n_train=8, n_valid=8, n_test=8,
+                        out_dir=tmp_path)
+
+
+class TestPortfolioParallel:
+    def test_parallel_matches_serial(self, small_problem):
+        from repro.flows import portfolio
+
+        serial = portfolio.run(small_problem, flows=["team10", "team02"])
+        parallel = portfolio.run(small_problem,
+                                 flows=["team10", "team02"], jobs=2)
+        assert parallel.method == serial.method
+        assert parallel.metadata["selected_flow"] == \
+            serial.metadata["selected_flow"]
+        assert parallel.aig.num_ands == serial.aig.num_ands

@@ -51,7 +51,65 @@ def lit_regular(lit: int) -> int:
     return lit & ~1
 
 
-class AIG:
+class GateOps:
+    """Derived gates expressed through ``add_and``.
+
+    Mixed into :class:`AIG` and into the mutation-free cost counter
+    (:class:`repro.aig.opt.counting.VirtualBuilder`), so counting how
+    many nodes a construction *would* add runs the exact same gate
+    decompositions as building it.
+    """
+
+    def add_and(self, a: int, b: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def add_or(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """XOR as two ANDs plus an OR (3 AND nodes)."""
+        return self.add_or(
+            self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b)
+        )
+
+    def add_mux(self, sel: int, t: int, e: int) -> int:
+        """``sel ? t : e``."""
+        return self.add_or(self.add_and(sel, t), self.add_and(lit_not(sel), e))
+
+    def add_maj3(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals."""
+        return self.add_or(
+            self.add_and(a, b), self.add_or(self.add_and(a, c), self.add_and(b, c))
+        )
+
+    def add_and_multi(self, lits: Sequence[int]) -> int:
+        """Balanced conjunction of many literals."""
+        return self._reduce_balanced(list(lits), self.add_and, CONST1)
+
+    def add_or_multi(self, lits: Sequence[int]) -> int:
+        """Balanced disjunction of many literals."""
+        return self._reduce_balanced(list(lits), self.add_or, CONST0)
+
+    def add_xor_multi(self, lits: Sequence[int]) -> int:
+        """Balanced parity of many literals."""
+        return self._reduce_balanced(list(lits), self.add_xor, CONST0)
+
+    @staticmethod
+    def _reduce_balanced(lits, op, identity):
+        if not lits:
+            return identity
+        while len(lits) > 1:
+            nxt = []
+            for i in range(0, len(lits) - 1, 2):
+                nxt.append(op(lits[i], lits[i + 1]))
+            if len(lits) % 2:
+                nxt.append(lits[-1])
+            lits = nxt
+        return lits[0]
+
+
+class AIG(GateOps):
     """A structurally hashed And-Inverter Graph.
 
     Parameters
@@ -148,51 +206,6 @@ class AIG:
         self._strash_log.append(key)
         self._version += 1
         return lit
-
-    def add_or(self, a: int, b: int) -> int:
-        """OR via De Morgan."""
-        return lit_not(self.add_and(lit_not(a), lit_not(b)))
-
-    def add_xor(self, a: int, b: int) -> int:
-        """XOR as two ANDs plus an OR (3 AND nodes)."""
-        return self.add_or(
-            self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b)
-        )
-
-    def add_mux(self, sel: int, t: int, e: int) -> int:
-        """``sel ? t : e``."""
-        return self.add_or(self.add_and(sel, t), self.add_and(lit_not(sel), e))
-
-    def add_maj3(self, a: int, b: int, c: int) -> int:
-        """Majority of three literals."""
-        return self.add_or(
-            self.add_and(a, b), self.add_or(self.add_and(a, c), self.add_and(b, c))
-        )
-
-    def add_and_multi(self, lits: Sequence[int]) -> int:
-        """Balanced conjunction of many literals."""
-        return self._reduce_balanced(list(lits), self.add_and, CONST1)
-
-    def add_or_multi(self, lits: Sequence[int]) -> int:
-        """Balanced disjunction of many literals."""
-        return self._reduce_balanced(list(lits), self.add_or, CONST0)
-
-    def add_xor_multi(self, lits: Sequence[int]) -> int:
-        """Balanced parity of many literals."""
-        return self._reduce_balanced(list(lits), self.add_xor, CONST0)
-
-    @staticmethod
-    def _reduce_balanced(lits, op, identity):
-        if not lits:
-            return identity
-        while len(lits) > 1:
-            nxt = []
-            for i in range(0, len(lits) - 1, 2):
-                nxt.append(op(lits[i], lits[i + 1]))
-            if len(lits) % 2:
-                nxt.append(lits[-1])
-            lits = nxt
-        return lits[0]
 
     def set_output(self, lit: int) -> int:
         """Append an output literal; returns its output index."""

@@ -11,6 +11,7 @@ All word operands are little-endian literal lists (index 0 = LSB).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.aig.aig import AIG, CONST0, CONST1, lit_not
@@ -83,6 +84,45 @@ def multiplier(aig: AIG, a: Sequence[int], b: Sequence[int]) -> List[int]:
 def parity(aig: AIG, lits: Sequence[int]) -> int:
     """XOR of all literals."""
     return aig.add_xor_multi(list(lits))
+
+
+def parity_chain(n_inputs: int = 4, n_nodes: int = 5000) -> AIG:
+    """Standalone chain-shaped parity accumulator.
+
+    Folds one rotating input at a time through :func:`parity`, so the
+    graph is a deep XOR chain instead of the balanced tree
+    :func:`parity` builds on its own — depth grows linearly with
+    ``n_nodes``.  This is the worst-case shape for cone walks (its
+    4-feasible cuts span the whole chain) and is shared by the
+    chain-regression tests and ``benchmarks/bench_opt_engine.py``.
+    """
+    aig = AIG(n_inputs)
+    xs = aig.input_lits()
+    acc = xs[0]
+    i = 0
+    while aig.num_ands < n_nodes:
+        acc = parity(aig, [acc, xs[i % n_inputs]])
+        i += 1
+    aig.set_output(acc)
+    return aig
+
+
+def ripple_chain(word_width: int = 4, n_nodes: int = 5000) -> AIG:
+    """Standalone deep ripple-carry accumulator.
+
+    Repeatedly adds the same input word into a ``word_width``-bit
+    accumulator with :func:`ripple_adder` (carry-out dropped), giving
+    a carry chain thousands of levels deep over few inputs — the
+    other chain-regression shape.
+    """
+    aig = AIG(2 * word_width)
+    lits = aig.input_lits()
+    acc, word = lits[:word_width], lits[word_width:]
+    while aig.num_ands < n_nodes:
+        acc = ripple_adder(aig, acc, word)[:word_width]
+    for bit in acc:
+        aig.set_output(bit)
+    return aig
 
 
 def ones_counter(aig: AIG, lits: Sequence[int]) -> List[int]:
@@ -167,10 +207,52 @@ def maj5_tree(aig: AIG, lits: Sequence[int]) -> int:
     return lits[0]
 
 
+@lru_cache(maxsize=1 << 12)
+def _lut_covers(table: int, k: int):
+    """Irredundant covers of both polarities of a truth table."""
+    full = (1 << (1 << k)) - 1
+    pos_cover, _ = isop(table, table, k)
+    neg_cover, _ = isop(~table & full, ~table & full, k)
+    return pos_cover, neg_cover
+
+
+def lut_choice(aig: AIG, table: int, leaves: Sequence[int],
+               budget: int = None):
+    """Price both SOP polarities of ``table`` against ``aig``.
+
+    Returns ``(cost, cover, negated)`` for the cheaper polarity —
+    where ``cost`` is the exact number of AND nodes
+    ``sop_over_leaves(aig, cover, leaves)`` would add (strash-aware
+    virtual counting; the graph is not touched) — or None when a
+    ``budget`` is given and both polarities exceed it.  The positive
+    polarity wins ties, matching the seed behavior.
+    """
+    from repro.aig.opt.counting import BudgetExceeded, VirtualBuilder
+
+    k = len(leaves)
+    full = (1 << (1 << k)) - 1
+    table &= full
+    pos_cover, neg_cover = _lut_covers(table, k)
+    best = None
+    for cover, negated in ((pos_cover, False), (neg_cover, True)):
+        cap = budget if best is None else best[0] - 1
+        counter = VirtualBuilder(aig, budget=cap)
+        try:
+            sop_over_leaves(counter, cover, leaves)
+        except BudgetExceeded:
+            continue
+        if best is None or counter.n_new < best[0]:
+            best = (counter.n_new, cover, negated)
+    return best
+
+
 def lut(aig: AIG, table: int, leaves: Sequence[int]) -> int:
     """Realize a k-input truth table over the given leaf literals.
 
-    Uses the irredundant SOP of whichever polarity is cheaper.
+    Uses the irredundant SOP of whichever polarity is cheaper.  Both
+    polarities are *priced* without touching the graph (virtual
+    strash-aware counting) and only the winner is built, exactly once
+    — no checkpoint/rollback, no structural-version churn.
     """
     k = len(leaves)
     full = (1 << (1 << k)) - 1
@@ -179,22 +261,18 @@ def lut(aig: AIG, table: int, leaves: Sequence[int]) -> int:
         return CONST0
     if table == full:
         return CONST1
-    pos_cover, _ = isop(table, table, k)
-    neg_cover, _ = isop(~table & full, ~table & full, k)
-    state = aig.checkpoint()
-    pos = sop_over_leaves(aig, pos_cover, leaves)
-    pos_cost = aig.num_ands - state[0]
-    aig.rollback(state)
-    neg = sop_over_leaves(aig, neg_cover, leaves)
-    neg_cost = aig.num_ands - state[0]
-    if neg_cost < pos_cost:
-        return lit_not(neg)
-    aig.rollback(state)
-    return sop_over_leaves(aig, pos_cover, leaves)
+    _, cover, negated = lut_choice(aig, table, leaves)
+    lit = sop_over_leaves(aig, cover, leaves)
+    return lit_not(lit) if negated else lit
 
 
-def sop_over_leaves(aig: AIG, cover, leaves: Sequence[int]) -> int:
-    """Build an OR of cube-ANDs over leaf literals."""
+def sop_over_leaves(aig, cover, leaves: Sequence[int]) -> int:
+    """Build an OR of cube-ANDs over leaf literals.
+
+    ``aig`` is anything with the ``GateOps`` contract — a real
+    :class:`AIG` or a cost-counting
+    :class:`~repro.aig.opt.counting.VirtualBuilder`.
+    """
     terms = []
     for cube in cover:
         lits = [

@@ -1,19 +1,99 @@
 """K-feasible cut enumeration and cut-function computation.
 
 Used by the rewriting pass: every AND node gets a set of cuts (leaf
-sets of bounded size); the function of the node in terms of each cut's
-leaves is computed by evaluating the cone between leaves and root on
-exhaustive leaf patterns.
+sets of bounded size) and, when requested, the truth table of the node
+in terms of each cut's leaves.  Truth tables are computed *bottom-up*
+during enumeration — a merged cut's table is assembled from its two
+fanin cut tables by leaf-set expansion — so no cone is ever walked,
+which keeps the cost per cut constant even on chain-shaped graphs
+where a 4-leaf cut can span thousands of nodes.
+
+:func:`cut_function` (cone evaluation for arbitrary leaf sets, used by
+the refactoring pass and by tests) delegates to the iterative walker
+in :mod:`repro.aig.opt.traverse`; the seed's recursive version hit the
+Python recursion limit on exactly those deep-cone cuts.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 from repro.aig.aig import AIG
-from repro.aig.isop import full_mask, var_mask
+from repro.aig.isop import full_mask
+from repro.aig.opt import traverse
 
 Cut = Tuple[int, ...]  # sorted variable indices
+
+TRIVIAL_TABLE = 0b10  # the identity function over one leaf
+
+
+@lru_cache(maxsize=1 << 14)
+def _expand_map(positions: Cut, k_sup: int) -> Tuple[int, ...]:
+    """Minterm projection for expanding a sub-cut table to a superset.
+
+    ``positions[i]`` is the position of the sub-cut's leaf ``i`` in
+    the super-cut; entry ``m`` of the result is the sub-cut minterm
+    that super-cut minterm ``m`` projects to.
+    """
+    out = []
+    for m in range(1 << k_sup):
+        src = 0
+        for i, p in enumerate(positions):
+            if (m >> p) & 1:
+                src |= 1 << i
+        out.append(src)
+    return tuple(out)
+
+
+@lru_cache(maxsize=1 << 16)
+def _expand_table(table: int, positions: Cut, k_sup: int) -> int:
+    out = 0
+    for m, src in enumerate(_expand_map(positions, k_sup)):
+        if (table >> src) & 1:
+            out |= 1 << m
+    return out
+
+
+def _expand(table: int, sub: Cut, sup: Cut) -> int:
+    """Re-express ``table`` (over leaves ``sub``) over superset ``sup``."""
+    if sub == sup:
+        return table
+    positions = tuple(sup.index(l) for l in sub)
+    return _expand_table(table, positions, len(sup))
+
+
+def _merge_node_cuts(
+    cuts: Dict[int, List[Cut]], aig: AIG, var: int, k: int, max_cuts: int
+) -> Tuple[List[Cut], Dict[Cut, Tuple[Cut, Cut]]]:
+    """Pruned cut list for ``var`` plus each cut's source fanin pair."""
+    f0, f1 = aig.fanins(var)
+    v0, v1 = f0 >> 1, f1 >> 1
+    merged: Dict[Cut, Tuple[Cut, Cut]] = {(var,): None}
+    for c0 in cuts[v0]:
+        s0 = set(c0)
+        len0 = len(c0)
+        for c1 in cuts[v1]:
+            # Cheap reject: disjoint leaf ranges cannot shrink the
+            # union below len0 + len(c1).
+            if len0 + len(c1) > k and (c0[-1] < c1[0] or c1[-1] < c0[0]):
+                continue
+            leaves = tuple(sorted(s0.union(c1)))
+            if len(leaves) <= k and leaves not in merged:
+                merged[leaves] = (c0, c1)
+    # Drop dominated cuts (supersets of another cut).
+    pruned: List[Cut] = []
+    pruned_sets: List[set] = []
+    for cand in sorted(merged, key=len):
+        cs = set(cand)
+        # Candidates are distinct sorted tuples, so distinct sets;
+        # subset here always means *proper* subset.
+        if any(p <= cs for p in pruned_sets):
+            continue
+        pruned.append(cand)
+        pruned_sets.append(cs)
+    pruned.sort(key=lambda c: (len(c), c))
+    return pruned[:max_cuts], merged
 
 
 def enumerate_cuts(
@@ -31,25 +111,53 @@ def enumerate_cuts(
     base = aig.n_inputs + 1
     for j in range(aig.num_ands):
         var = base + j
+        cuts[var], _ = _merge_node_cuts(cuts, aig, var, k, max_cuts)
+    return cuts
+
+
+def enumerate_cuts_with_truths(
+    aig: AIG, k: int = 4, max_cuts: int = 8
+) -> Dict[int, List[Tuple[Cut, int]]]:
+    """Cuts plus the node's truth table over each cut's leaves.
+
+    Same enumeration as :func:`enumerate_cuts`, but every surviving
+    cut carries the function of its root in terms of its leaves,
+    assembled bottom-up from the fanin cut tables.  Entries are
+    ``(cut, table)`` pairs; the table of the trivial cut ``(var,)`` is
+    the identity ``0b10``.
+    """
+    cuts: Dict[int, List[Cut]] = {0: [()]}
+    tables: Dict[int, Dict[Cut, int]] = {0: {(): 0}}
+    for i in range(aig.n_inputs):
+        v = 1 + i
+        cuts[v] = [(v,)]
+        tables[v] = {(v,): TRIVIAL_TABLE}
+    base = aig.n_inputs + 1
+    out: Dict[int, List[Tuple[Cut, int]]] = {}
+    for v in range(base):
+        out[v] = [(c, tables[v][c]) for c in cuts.get(v, [])]
+    for j in range(aig.num_ands):
+        var = base + j
         f0, f1 = aig.fanins(var)
         v0, v1 = f0 >> 1, f1 >> 1
-        merged = {(var,)}
-        for c0 in cuts[v0]:
-            for c1 in cuts[v1]:
-                leaves = tuple(sorted(set(c0) | set(c1)))
-                if len(leaves) <= k:
-                    merged.add(leaves)
-        # Drop dominated cuts (supersets of another cut).
-        pruned = []
-        as_sets = sorted(merged, key=len)
-        for cand in as_sets:
-            cs = set(cand)
-            if any(set(p) <= cs and p != cand for p in pruned):
+        kept, merged = _merge_node_cuts(cuts, aig, var, k, max_cuts)
+        cuts[var] = kept
+        node_tables: Dict[Cut, int] = {(var,): TRIVIAL_TABLE}
+        for cut in kept:
+            if cut == (var,):
                 continue
-            pruned.append(cand)
-        pruned.sort(key=lambda c: (len(c), c))
-        cuts[var] = pruned[:max_cuts]
-    return cuts
+            c0, c1 = merged[cut]
+            fm = full_mask(len(cut))
+            a = _expand(tables[v0][c0], c0, cut)
+            if f0 & 1:
+                a = ~a & fm
+            b = _expand(tables[v1][c1], c1, cut)
+            if f1 & 1:
+                b = ~b & fm
+            node_tables[cut] = a & b
+        tables[var] = node_tables
+        out[var] = [(c, node_tables[c]) for c in kept]
+    return out
 
 
 def cut_function(aig: AIG, root: int, leaves: Sequence[int]) -> int:
@@ -58,33 +166,9 @@ def cut_function(aig: AIG, root: int, leaves: Sequence[int]) -> int:
     ``leaves`` must be a cut of ``root`` (every path from the root to
     the inputs passes through a leaf); otherwise a ``ValueError`` is
     raised when an input variable outside the cut is reached.
+    Iterative — safe on cones of any depth.
     """
-    k = len(leaves)
-    values: Dict[int, int] = {0: 0}
-    for pos, leaf in enumerate(leaves):
-        values[leaf] = var_mask(k, pos)
-    fm = full_mask(k)
-
-    def eval_var(var: int) -> int:
-        found = values.get(var)
-        if found is not None:
-            return found
-        if not aig.is_and_var(var):
-            raise ValueError(
-                f"variable {var} reached outside the cut {leaves}"
-            )
-        f0, f1 = aig.fanins(var)
-        a = eval_var(f0 >> 1)
-        if f0 & 1:
-            a = ~a & fm
-        b = eval_var(f1 >> 1)
-        if f1 & 1:
-            b = ~b & fm
-        result = a & b
-        values[var] = result
-        return result
-
-    return eval_var(root)
+    return traverse.cut_truth(aig, root, leaves)
 
 
 def mffc_size(aig: AIG, var: int, fanout: Sequence[int]) -> int:
@@ -92,20 +176,6 @@ def mffc_size(aig: AIG, var: int, fanout: Sequence[int]) -> int:
 
     ``fanout`` is the fanout count array of the graph.  The MFFC is the
     set of AND nodes that would become dead if ``var`` were removed.
+    Iterative — safe on cones of any depth.
     """
-    if not aig.is_and_var(var):
-        return 0
-    counted = set()
-
-    def walk(v: int, is_root: bool) -> None:
-        if v in counted or not aig.is_and_var(v):
-            return
-        if not is_root and fanout[v] > 1:
-            return
-        counted.add(v)
-        f0, f1 = aig.fanins(v)
-        walk(f0 >> 1, False)
-        walk(f1 >> 1, False)
-
-    walk(var, True)
-    return len(counted)
+    return traverse.mffc_size(aig, var, fanout)

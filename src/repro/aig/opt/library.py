@@ -1,0 +1,143 @@
+"""Process-wide library of best-known AIG structures per NPN class.
+
+ABC's ``rewrite`` owes its speed to a precomputed library of 4-input
+functions: every cut function reduces, by NPN canonicalization, to one
+of 222 classes, and each class carries a best-known implementation
+that is *instantiated* — not resynthesized — at every rewrite site.
+This module plays that role.
+
+A class representative is synthesized once per process (ISOP in both
+polarities and a Shannon MUX tree compete; the smallest strashed cone
+wins) and stored as a :class:`Recipe`: a flat list of AND nodes over
+local literals.  Instantiating a recipe replays those ANDs through any
+sink that implements the ``add_and`` contract — a real
+:class:`~repro.aig.aig.AIG` to build, or a
+:class:`~repro.aig.opt.counting.VirtualBuilder` to price the candidate
+without mutating anything.  That duality is what makes the rewriting
+pass mutation-free: every candidate is priced virtually and only the
+winner is ever built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.aig.aig import AIG, CONST0, CONST1, lit_not
+from repro.aig.isop import full_mask
+from repro.aig.opt.npn import MAX_NPN_VARS, npn_canon
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A canonical-class implementation over local literals.
+
+    Local variable numbering: 0 is the constant, ``1 .. n_leaves`` are
+    the leaves, AND node ``j`` is variable ``1 + n_leaves + j``.
+    ``nodes[j]`` holds its fanin literals (``2 * var + compl``);
+    ``out`` is the output literal.  ``size`` counts the AND nodes.
+    """
+
+    n_leaves: int
+    nodes: Tuple[Tuple[int, int], ...]
+    out: int
+    size: int
+
+
+def _encode(aig: AIG) -> Recipe:
+    """Flatten a compact single-output AIG into a Recipe."""
+    nodes = tuple(zip(aig._fanin0, aig._fanin1))
+    return Recipe(
+        n_leaves=aig.n_inputs,
+        nodes=nodes,
+        out=aig.outputs[0],
+        size=aig.num_ands,
+    )
+
+
+class NpnLibrary:
+    """Canonical 4-input structures, built on demand and cached.
+
+    One instance (see :func:`get_library`) is shared process-wide; the
+    recipe cache is keyed on the canonical table, so each NPN class is
+    synthesized at most once no matter how many circuits are rewritten.
+    """
+
+    def __init__(self, max_vars: int = MAX_NPN_VARS):
+        self.max_vars = max_vars
+        self._recipes: Dict[Tuple[int, int], Recipe] = {}
+        # (k, table) -> (recipe, perm, phase, out_neg): canonicalization
+        # and recipe lookup collapsed into one dict hit, since
+        # instantiate() runs hundreds of thousands of times per pass.
+        self._instances: Dict[Tuple[int, int], tuple] = {}
+
+    # ------------------------------------------------------------------
+    def recipe(self, ctable: int, k: int) -> Recipe:
+        """Best-known implementation of a *canonical* table."""
+        key = (k, ctable)
+        found = self._recipes.get(key)
+        if found is not None:
+            return found
+        recipe = self._synthesize(ctable, k)
+        self._recipes[key] = recipe
+        return recipe
+
+    @staticmethod
+    def _synthesize(ctable: int, k: int) -> Recipe:
+        # Imported here: repro.aig.build depends on repro.aig.opt for
+        # virtual cost counting, so the reverse import must be lazy.
+        from repro.aig.build import from_truth_table
+
+        best: AIG = None
+        for method in ("sop", "mux"):
+            cand = from_truth_table(ctable, k, method).extract_cone()
+            if best is None or cand.num_ands < best.num_ands:
+                best = cand
+        return _encode(best)
+
+    # ------------------------------------------------------------------
+    def instantiate(self, sink, table: int, leaves: Sequence[int]) -> int:
+        """Realize ``table`` over leaf literals through ``sink.add_and``.
+
+        ``sink`` is an :class:`~repro.aig.aig.AIG` (builds the logic)
+        or a :class:`~repro.aig.opt.counting.VirtualBuilder` (prices
+        it).  Returns the output literal in either domain.
+        """
+        k = len(leaves)
+        fm = full_mask(k)
+        table &= fm
+        found = self._instances.get((k, table))
+        if found is None:
+            if table == 0:
+                return CONST0
+            if table == fm:
+                return CONST1
+            ctable, perm, phase, out_neg = npn_canon(table, k)
+            recipe = self.recipe(ctable, k)
+            self._instances[(k, table)] = (recipe, perm, phase, out_neg)
+        else:
+            recipe, perm, phase, out_neg = found
+        # Canonical input perm[i] is original leaf i xor phase bit i.
+        vals: List[int] = [CONST0] * (1 + k)
+        for i in range(k):
+            vals[1 + perm[i]] = leaves[i] ^ ((phase >> i) & 1)
+        for f0, f1 in recipe.nodes:
+            a = vals[f0 >> 1] ^ (f0 & 1)
+            b = vals[f1 >> 1] ^ (f1 & 1)
+            vals.append(sink.add_and(a, b))
+        result = vals[recipe.out >> 1] ^ (recipe.out & 1)
+        return lit_not(result) if out_neg else result
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+
+_LIBRARY: NpnLibrary = None
+
+
+def get_library() -> NpnLibrary:
+    """The process-wide shared library instance."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        _LIBRARY = NpnLibrary()
+    return _LIBRARY

@@ -1,0 +1,351 @@
+"""The optimization passes, built on the NPN library engine.
+
+All passes are greedy topological *rebuilds* into a fresh structurally
+hashed graph, functionally equivalent to their input by construction:
+
+``balance``
+    Flattens single-fanout AND trees and rebuilds them with a
+    Huffman-style pairing, minimizing depth (ABC's ``balance``).
+``rewrite``
+    DAG-aware 4-cut rewriting (ABC ``rewrite``): every node's cut
+    functions are computed bottom-up during enumeration, reduced to
+    their NPN class, and the class's best-known structure is *priced*
+    against the output graph with mutation-free strash-aware counting.
+    Only the winning candidate is built — no per-candidate ISOP, no
+    checkpoint/rollback, no structural-version churn.
+``refactor``
+    Cone-level resynthesis of maximum fanout-free cones up to 10
+    leaves, accepted when the (virtually priced) new cone is no larger
+    than the old MFFC.
+``fraig_lite``
+    Simulation-guided equivalence-class detection (ABC ``fraig``
+    role): random bit-parallel simulation through the levelized engine
+    proposes equivalence candidates that structural hashing cannot
+    see, and each is proven by exhaustive truth tables over a bounded
+    common cut before the nodes are merged.  Unproven candidates are
+    left alone, so the pass is exact.
+
+``compress`` chains them until no improvement, mirroring ABC script
+usage (``resyn2``/``compress2rs``), and never returns a graph larger
+than its input.  Every cone walk is iterative (see
+:mod:`repro.aig.opt.traverse`) — chain-shaped graphs of any depth are
+safe.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.aig.cuts import enumerate_cuts_with_truths
+from repro.aig.isop import full_mask
+from repro.aig.opt.counting import BudgetExceeded, VirtualBuilder
+from repro.aig.opt.library import NpnLibrary, get_library
+from repro.aig.opt.traverse import bounded_cut, cut_truth, ffc_leaves, mffc_size
+from repro.utils.rng import rng_for
+
+
+def _map_lit(mapping: List[int], lit: int) -> int:
+    return mapping[lit >> 1] ^ (lit & 1)
+
+
+def _sync_levels(aig: AIG, lv: List[int]) -> None:
+    """Extend the incremental level array to cover new nodes."""
+    base = aig.n_inputs + 1
+    while len(lv) < aig.num_vars:
+        j = len(lv) - base
+        f0, f1 = aig._fanin0[j], aig._fanin1[j]
+        lv.append(max(lv[f0 >> 1], lv[f1 >> 1]) + 1)
+
+
+# ---------------------------------------------------------------------
+# balance
+# ---------------------------------------------------------------------
+def balance(aig: AIG) -> AIG:
+    """Depth-oriented rebuild of AND trees (ABC ``balance``)."""
+    fanout = aig.fanout_counts()
+    internal = _tree_internal_mask(aig, fanout)
+    new = AIG(aig.n_inputs)
+    lv = [0] * (aig.n_inputs + 1)
+    mapping = [0] * aig.num_vars
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        if internal[var]:
+            # Swallowed by the gather of its unique AND parent; its
+            # mapping is never read.  Skipping these is what makes
+            # balance linear instead of quadratic on chain/tree
+            # graphs: each single-fanout tree is flattened once, at
+            # its root, not once per member.
+            continue
+        leaves = _gather_and_leaves(aig, var, fanout)
+        heap = [(lv[_map_lit(mapping, l) >> 1], _map_lit(mapping, l)) for l in leaves]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            la, a = heapq.heappop(heap)
+            lb, b = heapq.heappop(heap)
+            lit = new.add_and(a, b)
+            _sync_levels(new, lv)
+            heapq.heappush(heap, (lv[lit >> 1], lit))
+        mapping[var] = heap[0][1]
+    for lit in aig.outputs:
+        new.set_output(_map_lit(mapping, lit))
+    return new.extract_cone()
+
+
+def _tree_internal_mask(aig: AIG, fanout: np.ndarray) -> np.ndarray:
+    """Mask of AND nodes whose only reference is a plain AND fanin.
+
+    Exactly the nodes :func:`_gather_and_leaves` expands into their
+    parent's leaf set — complemented references, multi-fanout nodes
+    and output-referenced nodes all stay tree roots.
+    """
+    internal = np.zeros(aig.num_vars, dtype=bool)
+    for fanins in (aig._fanin0, aig._fanin1):
+        f = np.asarray(fanins, dtype=np.int64)
+        plain = f[(f & 1) == 0] >> 1
+        internal[plain] = True
+    internal &= fanout == 1
+    internal[: aig.n_inputs + 1] = False
+    return internal
+
+
+def _gather_and_leaves(aig: AIG, var: int, fanout: np.ndarray) -> List[int]:
+    """Leaves of the single-fanout AND tree rooted at ``var``.
+
+    A fanin literal is expanded when it is a non-complemented AND node
+    referenced only once; otherwise it is a leaf.
+    """
+    leaves: List[int] = []
+    stack = list(aig.fanins(var))
+    while stack:
+        lit = stack.pop()
+        v = lit >> 1
+        if not (lit & 1) and aig.is_and_var(v) and fanout[v] == 1:
+            stack.extend(aig.fanins(v))
+        else:
+            leaves.append(lit)
+    return leaves
+
+
+# ---------------------------------------------------------------------
+# rewrite
+# ---------------------------------------------------------------------
+def rewrite(
+    aig: AIG,
+    k: int = 4,
+    max_cuts: int = 8,
+    library: Optional[NpnLibrary] = None,
+) -> AIG:
+    """DAG-aware NPN-library cut rewriting (ABC ``rewrite`` analogue).
+
+    Cuts up to ``lib.max_vars`` leaves (4 by default) are priced
+    through the NPN library; wider cuts — the seed supported any
+    ``k`` — fall back to mutation-free ISOP pricing, so the public
+    ``k`` parameter keeps its old range.
+    """
+    from repro.aig.build import lut_choice, sop_over_leaves
+
+    lib = library if library is not None else get_library()
+    node_cuts = enumerate_cuts_with_truths(aig, k=k, max_cuts=max_cuts)
+    new = AIG(aig.n_inputs)
+    mapping = [0] * aig.num_vars
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        f0, f1 = aig.fanins(var)
+        ma, mb = _map_lit(mapping, f0), _map_lit(mapping, f1)
+        probe = VirtualBuilder(new)
+        direct_lit = probe.add_and(ma, mb)
+        if probe.n_new == 0:
+            # Constant fold or strash hit: nothing can beat zero cost,
+            # and the returned literal is a real one.
+            mapping[var] = direct_lit
+            continue
+        best_cost = probe.n_new  # the direct build costs one node
+        best = None
+        for cut, table in node_cuts[var]:
+            if len(cut) < 2:
+                continue
+            leaf_lits = [mapping[l] for l in cut]
+            if len(cut) <= lib.max_vars:
+                # A candidate only wins with strictly fewer new
+                # nodes, so price it with that budget and abandon it
+                # at the first node that cannot be shared.
+                counter = VirtualBuilder(new, budget=best_cost - 1)
+                try:
+                    lib.instantiate(counter, table, leaf_lits)
+                except BudgetExceeded:
+                    continue
+                cost = counter.n_new
+            else:
+                choice = lut_choice(
+                    new, table, leaf_lits, budget=best_cost - 1
+                )
+                if choice is None:
+                    continue
+                cost = choice[0]
+            if cost < best_cost:
+                best_cost = cost
+                best = (cut, table)
+        if best is None:
+            mapping[var] = new.add_and(ma, mb)
+        else:
+            cut, table = best
+            leaf_lits = [mapping[l] for l in cut]
+            if len(cut) <= lib.max_vars:
+                mapping[var] = lib.instantiate(new, table, leaf_lits)
+            else:
+                _, cover, negated = lut_choice(new, table, leaf_lits)
+                lit = sop_over_leaves(new, cover, leaf_lits)
+                mapping[var] = lit ^ 1 if negated else lit
+    for lit in aig.outputs:
+        new.set_output(_map_lit(mapping, lit))
+    return new.extract_cone()
+
+
+# ---------------------------------------------------------------------
+# refactor
+# ---------------------------------------------------------------------
+def refactor(aig: AIG, max_leaves: int = 10) -> AIG:
+    """MFFC cone resynthesis (ABC ``refactor`` analogue)."""
+    from repro.aig.build import lut_choice, sop_over_leaves
+    from repro.aig.aig import CONST0, CONST1, lit_not
+
+    fanout = aig.fanout_counts()
+    new = AIG(aig.n_inputs)
+    mapping = [0] * aig.num_vars
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        f0, f1 = aig.fanins(var)
+        leaves = ffc_leaves(aig, var, fanout, max_leaves)
+        if leaves is not None:
+            table = cut_truth(aig, var, leaves)
+            fm = full_mask(len(leaves))
+            if table == 0 or table == fm:
+                mapping[var] = CONST0 if table == 0 else CONST1
+                continue
+            old_cone = mffc_size(aig, var, fanout)
+            mapped = [mapping[l] for l in leaves]
+            choice = lut_choice(new, table, mapped, budget=old_cone)
+            if choice is not None and choice[0] <= old_cone:
+                lit = sop_over_leaves(new, choice[1], mapped)
+                mapping[var] = lit_not(lit) if choice[2] else lit
+                continue
+        mapping[var] = new.add_and(
+            _map_lit(mapping, f0), _map_lit(mapping, f1)
+        )
+    for lit in aig.outputs:
+        new.set_output(_map_lit(mapping, lit))
+    return new.extract_cone()
+
+
+# ---------------------------------------------------------------------
+# fraig-lite
+# ---------------------------------------------------------------------
+def fraig_lite(
+    aig: AIG,
+    n_words: int = 4,
+    max_leaves: int = 12,
+    max_visit: int = 48,
+    rng: Optional[np.random.Generator] = None,
+) -> AIG:
+    """Merge simulation-equivalent nodes after a bounded exact proof.
+
+    Random packed patterns are simulated once through the levelized
+    engine; variables with identical (or complementary) signatures
+    form candidate classes.  A candidate is merged into its class
+    representative only when exhaustive truth tables over a bounded
+    common cut *prove* the equivalence, so the output is functionally
+    identical to the input even though the signatures are random.
+    """
+    if aig.num_ands == 0:
+        return aig.extract_cone()
+    if rng is None:
+        rng = rng_for("fraig-lite", aig.num_vars, aig.num_ands)
+    packed = rng.integers(
+        0, 1 << 64, size=(aig.n_inputs, n_words), dtype=np.uint64
+    )
+    values = aig.simulate_packed_all(packed)
+    inverted = ~values
+    # Canonical signature: complement rows whose first bit is set, so
+    # a node and its negation land in the same class.
+    reps = {}
+    subst = {}
+    for var in range(aig.num_vars):
+        neg = bool(values[var, 0] & 1)
+        key = (inverted[var] if neg else values[var]).tobytes()
+        entry = reps.get(key)
+        if entry is None:
+            reps[key] = (var, neg)
+            continue
+        if not aig.is_and_var(var):
+            continue  # never merge inputs into anything
+        rep, rep_neg = entry
+        cut = bounded_cut(
+            aig, (rep, var), max_leaves=max_leaves, max_visit=max_visit
+        )
+        if cut is None:
+            continue
+        t_rep = cut_truth(aig, rep, cut)
+        t_var = cut_truth(aig, var, cut)
+        compl = neg ^ rep_neg
+        expected = ~t_rep & full_mask(len(cut)) if compl else t_rep
+        if t_var == expected:
+            subst[var] = (rep, compl)
+    if not subst:
+        return aig.extract_cone()
+    new = AIG(aig.n_inputs)
+    mapping = [0] * aig.num_vars
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        found = subst.get(var)
+        if found is not None:
+            rep, compl = found
+            mapping[var] = mapping[rep] ^ compl
+        else:
+            f0, f1 = aig.fanins(var)
+            mapping[var] = new.add_and(
+                _map_lit(mapping, f0), _map_lit(mapping, f1)
+            )
+    for lit in aig.outputs:
+        new.set_output(_map_lit(mapping, lit))
+    return new.extract_cone()
+
+
+# ---------------------------------------------------------------------
+# compress
+# ---------------------------------------------------------------------
+def compress(aig: AIG, max_rounds: int = 3) -> AIG:
+    """Iterated optimization script (``resyn2``/``compress2rs`` role).
+
+    Guaranteed not to increase the used-node count.
+    """
+    best = aig.extract_cone()
+    for _ in range(max_rounds):
+        size_before = best.num_ands
+        # No trailing rewrite (the seed script had one): the round
+        # loop iterates to a fixpoint, so the next round's rewrite
+        # subsumes it at half the enumeration cost.
+        for pass_fn in (balance, rewrite, refactor, fraig_lite):
+            cand = pass_fn(best)
+            if cand.num_ands < best.num_ands or (
+                cand.num_ands == best.num_ands and cand.depth() < best.depth()
+            ):
+                best = cand
+        if best.num_ands >= size_before:
+            break
+    return best

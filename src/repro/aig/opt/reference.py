@@ -1,0 +1,143 @@
+"""The seed build-measure-rollback passes, kept as the pinned baseline.
+
+These are the pre-engine implementations of ``rewrite``, ``refactor``
+and ``compress``: every rewrite candidate is tentatively *built* into
+the output graph (per-candidate ISOP resynthesis included), measured,
+rolled back, and the winner rebuilt.  ``benchmarks/bench_opt_engine.py``
+races the NPN-library engine against them the same way the simulation
+engine keeps ``reference_simulate_packed_all`` as its oracle — do not
+"optimize" this module, its slowness is the baseline being measured.
+
+(``_seed_lut`` preserves the seed's per-candidate double-ISOP,
+build-both-polarities-and-roll-back behavior; ``cut_function`` and
+``balance`` are the current iterative/linear versions, so the baseline
+measures the seed *algorithm*, not its recursion crashes.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aig.aig import AIG, CONST0, CONST1, lit_not
+from repro.aig.build import sop_over_leaves
+from repro.aig.cuts import cut_function, enumerate_cuts, mffc_size
+from repro.aig.isop import isop
+from repro.aig.opt.passes import _map_lit, balance
+from repro.aig.opt.traverse import ffc_leaves
+
+
+def _seed_lut(aig: AIG, table: int, leaves) -> int:
+    """The seed ``build.lut``: per-call double ISOP, build both
+    polarities behind a checkpoint, roll back, rebuild the winner."""
+    k = len(leaves)
+    full = (1 << (1 << k)) - 1
+    table &= full
+    if table == 0:
+        return CONST0
+    if table == full:
+        return CONST1
+    pos_cover, _ = isop(table, table, k)
+    neg_cover, _ = isop(~table & full, ~table & full, k)
+    state = aig.checkpoint()
+    sop_over_leaves(aig, pos_cover, leaves)
+    pos_cost = aig.num_ands - state[0]
+    aig.rollback(state)
+    neg = sop_over_leaves(aig, neg_cover, leaves)
+    neg_cost = aig.num_ands - state[0]
+    if neg_cost < pos_cost:
+        return lit_not(neg)
+    aig.rollback(state)
+    return sop_over_leaves(aig, pos_cover, leaves)
+
+
+def reference_rewrite(aig: AIG, k: int = 4, max_cuts: int = 8) -> AIG:
+    """Seed cut rewriting: build, measure, roll back every candidate."""
+    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
+    new = AIG(aig.n_inputs)
+    mapping = np.zeros(aig.num_vars, dtype=np.int64)
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        f0, f1 = aig.fanins(var)
+        candidates = [("direct", None, None)]
+        for cut in cuts[var]:
+            if len(cut) < 2 or cut == (var,):
+                continue
+            table = cut_function(aig, var, cut)
+            candidates.append(("cut", cut, table))
+        best_cost = None
+        best_kind = None
+        for kind, cut, table in candidates:
+            state = new.checkpoint()
+            if kind == "direct":
+                new.add_and(_map_lit(mapping, f0), _map_lit(mapping, f1))
+            else:
+                _seed_lut(new, table, [int(mapping[l]) for l in cut])
+            cost = new.num_ands - state[0]
+            new.rollback(state)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_kind = (kind, cut, table)
+        kind, cut, table = best_kind
+        if kind == "direct":
+            mapping[var] = new.add_and(
+                _map_lit(mapping, f0), _map_lit(mapping, f1)
+            )
+        else:
+            mapping[var] = _seed_lut(new, table, [int(mapping[l]) for l in cut])
+    for lit in aig.outputs:
+        new.set_output(_map_lit(mapping, lit))
+    return new.extract_cone()
+
+
+def reference_refactor(aig: AIG, max_leaves: int = 10) -> AIG:
+    """Seed MFFC resynthesis: build the cone, compare, roll back."""
+    fanout = aig.fanout_counts()
+    new = AIG(aig.n_inputs)
+    mapping = np.zeros(aig.num_vars, dtype=np.int64)
+    for i in range(aig.n_inputs):
+        mapping[1 + i] = new.input_lit(i)
+    base = aig.n_inputs + 1
+    for j in range(aig.num_ands):
+        var = base + j
+        f0, f1 = aig.fanins(var)
+        direct = lambda: new.add_and(  # noqa: E731 - tiny local thunk
+            _map_lit(mapping, f0), _map_lit(mapping, f1)
+        )
+        leaves = ffc_leaves(aig, var, fanout, max_leaves)
+        if leaves is None:
+            mapping[var] = direct()
+            continue
+        table = cut_function(aig, var, leaves)
+        old_cone = mffc_size(aig, var, fanout)
+        state = new.checkpoint()
+        cand = _seed_lut(new, table, [int(mapping[l]) for l in leaves])
+        cost = new.num_ands - state[0]
+        if cost <= old_cone:
+            mapping[var] = cand
+        else:
+            new.rollback(state)
+            mapping[var] = direct()
+    for lit in aig.outputs:
+        new.set_output(_map_lit(mapping, lit))
+    return new.extract_cone()
+
+
+def reference_compress(aig: AIG, max_rounds: int = 3) -> AIG:
+    """Seed optimization script (no fraig pass existed yet)."""
+    best = aig.extract_cone()
+    for _ in range(max_rounds):
+        size_before = best.num_ands
+        for pass_fn in (
+            balance, reference_rewrite, reference_refactor, reference_rewrite
+        ):
+            cand = pass_fn(best)
+            if cand.num_ands < best.num_ands or (
+                cand.num_ands == best.num_ands and cand.depth() < best.depth()
+            ):
+                best = cand
+        if best.num_ands >= size_before:
+            break
+    return best

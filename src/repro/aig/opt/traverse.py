@@ -1,0 +1,143 @@
+"""Iterative (stack-based) cone walks shared by all optimization passes.
+
+The seed implementations of cut-function evaluation and MFFC sizing
+were recursive, and their recursion depth is bounded only by the cone
+depth — on chain-shaped graphs (deep ripple/parity chains, exactly
+what the circuit builders emit for learned arithmetic) they blew the
+Python recursion limit.  Every walk here uses an explicit stack, so
+graph depth is never a correctness concern again; the pass layer,
+:mod:`repro.aig.cuts` and the fraig-lite prover all route through
+these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.aig.aig import AIG
+from repro.aig.isop import full_mask, var_mask
+
+Cut = Tuple[int, ...]
+
+
+def cut_truth(aig: AIG, root: int, leaves: Sequence[int]) -> int:
+    """Truth table of variable ``root`` in terms of ``leaves``.
+
+    ``leaves`` must be a cut of ``root``; reaching a primary input
+    outside the cut raises ``ValueError``.  Iterative post-order
+    evaluation — safe on cones of any depth.
+    """
+    k = len(leaves)
+    fm = full_mask(k)
+    values = {0: 0}
+    for pos, leaf in enumerate(leaves):
+        values[leaf] = var_mask(k, pos)
+    if root in values:
+        return values[root]
+    stack = [root]
+    while stack:
+        var = stack[-1]
+        if var in values:
+            stack.pop()
+            continue
+        if not aig.is_and_var(var):
+            raise ValueError(
+                f"variable {var} reached outside the cut {tuple(leaves)}"
+            )
+        f0, f1 = aig.fanins(var)
+        v0, v1 = f0 >> 1, f1 >> 1
+        t0 = values.get(v0)
+        t1 = values.get(v1)
+        if t0 is None or t1 is None:
+            if t0 is None:
+                stack.append(v0)
+            if t1 is None:
+                stack.append(v1)
+            continue
+        stack.pop()
+        a = ~t0 & fm if f0 & 1 else t0
+        b = ~t1 & fm if f1 & 1 else t1
+        values[var] = a & b
+    return values[root]
+
+
+def mffc_size(aig: AIG, var: int, fanout: Sequence[int]) -> int:
+    """Size of the maximum fanout-free cone rooted at ``var``.
+
+    ``fanout`` is the fanout count array of the graph.  The MFFC is
+    the set of AND nodes that would become dead if ``var`` were
+    removed.
+    """
+    if not aig.is_and_var(var):
+        return 0
+    counted = set()
+    stack = [(var, True)]
+    while stack:
+        v, is_root = stack.pop()
+        if v in counted or not aig.is_and_var(v):
+            continue
+        if not is_root and fanout[v] > 1:
+            continue
+        counted.add(v)
+        f0, f1 = aig.fanins(v)
+        stack.append((f0 >> 1, False))
+        stack.append((f1 >> 1, False))
+    return len(counted)
+
+
+def ffc_leaves(
+    aig: AIG, var: int, fanout: Sequence[int], max_leaves: int
+) -> Optional[Cut]:
+    """Leaf variables of the fanout-free cone of ``var`` (or None).
+
+    Expands single-fanout AND fanins; everything else is a leaf.
+    Returns None when the cone has fewer than 2 or more than
+    ``max_leaves`` leaves.
+    """
+    leaves = set()
+    stack = [l >> 1 for l in aig.fanins(var)]
+    while stack:
+        v = stack.pop()
+        if aig.is_and_var(v) and fanout[v] == 1:
+            stack.extend(l >> 1 for l in aig.fanins(v))
+        elif not aig.is_const_var(v):
+            leaves.add(v)
+        if len(leaves) > max_leaves:
+            return None
+    if len(leaves) < 2:
+        return None
+    return tuple(sorted(leaves))
+
+
+def bounded_cut(
+    aig: AIG,
+    roots: Iterable[int],
+    max_leaves: int = 12,
+    max_visit: int = 48,
+) -> Optional[Cut]:
+    """A common cut of ``roots`` found by bounded backward expansion.
+
+    AND nodes are expanded until the visit budget runs out; the
+    unexpanded frontier (primary inputs plus any AND nodes beyond the
+    budget) is returned as the cut.  Any frontier of a backward walk
+    is a valid cut, so :func:`cut_truth` over the result terminates
+    for every root.  Returns None when the frontier exceeds
+    ``max_leaves`` — callers treat that as "no bounded proof found".
+    """
+    expanded = set()
+    leaves = set()
+    stack = [r for r in roots]
+    while stack:
+        v = stack.pop()
+        if v in expanded or v in leaves or aig.is_const_var(v):
+            continue
+        if aig.is_and_var(v) and len(expanded) < max_visit:
+            expanded.add(v)
+            f0, f1 = aig.fanins(v)
+            stack.append(f0 >> 1)
+            stack.append(f1 >> 1)
+        else:
+            leaves.add(v)
+            if len(leaves) > max_leaves:
+                return None
+    return tuple(sorted(leaves))

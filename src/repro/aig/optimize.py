@@ -1,200 +1,41 @@
-"""ABC-style AIG size/depth optimization.
+"""ABC-style AIG size/depth optimization (facade).
 
 The contest flows post-process every learned circuit with ABC's
-``resyn2``/``compress2rs`` scripts; this module plays that role.  Three
-passes are provided, all implemented as greedy topological *rebuilds*
-into a fresh structurally hashed graph:
+``resyn2``/``compress2rs`` scripts; this module plays that role.  The
+engine lives in :mod:`repro.aig.opt` — an NPN-canonical 4-input
+library with mutation-free gain evaluation and iterative cone walks —
+and this facade re-exports the passes under their historical names so
+``from repro.aig.optimize import compress`` keeps working everywhere:
 
 ``balance``
-    Flattens single-fanout AND trees and rebuilds them with a
-    Huffman-style pairing, minimizing depth (ABC's ``balance``).
+    Depth-oriented rebuild of AND trees (ABC ``balance``).
 ``rewrite``
-    DAG-aware 4-cut rewriting: each node is re-expressed as the
-    cheapest among its direct form and the ISOP resynthesis of any of
-    its k-cuts, with structural hashing making shared logic free.
+    DAG-aware 4-cut rewriting against the precomputed NPN library.
 ``refactor``
-    Cone-level resynthesis of maximum fanout-free cones up to 10
-    leaves, accepted when the new cone is no larger than the old MFFC.
+    MFFC cone resynthesis up to 10 leaves.
+``fraig_lite``
+    Simulation-guided, truth-table-proven equivalent-node merging.
+``compress``
+    The iterated script; never returns a graph larger than its input.
 
-``compress`` chains them until no improvement, mirroring ABC script
-usage, and never returns a graph larger than its input.
+The seed build-measure-rollback implementations are preserved in
+:mod:`repro.aig.opt.reference` as the benchmark baseline.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List
+from repro.aig.opt.passes import (  # noqa: F401 - re-exported API
+    balance,
+    compress,
+    fraig_lite,
+    refactor,
+    rewrite,
+)
+from repro.aig.opt.traverse import ffc_leaves as _iterative_ffc_leaves
 
-import numpy as np
-
-from repro.aig.aig import AIG, lit_not, lit_var
-from repro.aig.build import lut
-from repro.aig.cuts import cut_function, enumerate_cuts, mffc_size
-
-
-def _map_lit(mapping: np.ndarray, lit: int) -> int:
-    return int(mapping[lit >> 1]) ^ (lit & 1)
+__all__ = ["balance", "compress", "fraig_lite", "refactor", "rewrite"]
 
 
-def _sync_levels(aig: AIG, lv: List[int]) -> None:
-    """Extend the incremental level array to cover new nodes."""
-    base = aig.n_inputs + 1
-    while len(lv) < aig.num_vars:
-        j = len(lv) - base
-        f0, f1 = aig._fanin0[j], aig._fanin1[j]
-        lv.append(max(lv[f0 >> 1], lv[f1 >> 1]) + 1)
-
-
-def balance(aig: AIG) -> AIG:
-    """Depth-oriented rebuild of AND trees (ABC ``balance``)."""
-    fanout = aig.fanout_counts()
-    new = AIG(aig.n_inputs)
-    lv = [0] * (aig.n_inputs + 1)
-    mapping = np.zeros(aig.num_vars, dtype=np.int64)
-    for i in range(aig.n_inputs):
-        mapping[1 + i] = new.input_lit(i)
-    base = aig.n_inputs + 1
-    for j in range(aig.num_ands):
-        var = base + j
-        leaves = _gather_and_leaves(aig, var, fanout)
-        heap = [(lv[_map_lit(mapping, l) >> 1], _map_lit(mapping, l)) for l in leaves]
-        heapq.heapify(heap)
-        while len(heap) > 1:
-            la, a = heapq.heappop(heap)
-            lb, b = heapq.heappop(heap)
-            lit = new.add_and(a, b)
-            _sync_levels(new, lv)
-            heapq.heappush(heap, (lv[lit >> 1], lit))
-        mapping[var] = heap[0][1]
-    for lit in aig.outputs:
-        new.set_output(_map_lit(mapping, lit))
-    return new.extract_cone()
-
-
-def _gather_and_leaves(aig: AIG, var: int, fanout: np.ndarray) -> List[int]:
-    """Leaves of the single-fanout AND tree rooted at ``var``.
-
-    A fanin literal is expanded when it is a non-complemented AND node
-    referenced only once; otherwise it is a leaf.
-    """
-    leaves: List[int] = []
-    stack = list(aig.fanins(var))
-    while stack:
-        lit = stack.pop()
-        v = lit >> 1
-        if not (lit & 1) and aig.is_and_var(v) and fanout[v] == 1:
-            stack.extend(aig.fanins(v))
-        else:
-            leaves.append(lit)
-    return leaves
-
-
-def rewrite(aig: AIG, k: int = 4, max_cuts: int = 8) -> AIG:
-    """DAG-aware cut rewriting (ABC ``rewrite`` analogue)."""
-    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
-    new = AIG(aig.n_inputs)
-    mapping = np.zeros(aig.num_vars, dtype=np.int64)
-    for i in range(aig.n_inputs):
-        mapping[1 + i] = new.input_lit(i)
-    base = aig.n_inputs + 1
-    for j in range(aig.num_ands):
-        var = base + j
-        f0, f1 = aig.fanins(var)
-        candidates = [("direct", None, None)]
-        for cut in cuts[var]:
-            if len(cut) < 2 or cut == (var,):
-                continue
-            table = cut_function(aig, var, cut)
-            candidates.append(("cut", cut, table))
-        best_cost = None
-        best_kind = None
-        for kind, cut, table in candidates:
-            state = new.checkpoint()
-            if kind == "direct":
-                new.add_and(_map_lit(mapping, f0), _map_lit(mapping, f1))
-            else:
-                lut(new, table, [int(mapping[l]) for l in cut])
-            cost = new.num_ands - state[0]
-            new.rollback(state)
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_kind = (kind, cut, table)
-        kind, cut, table = best_kind
-        if kind == "direct":
-            mapping[var] = new.add_and(
-                _map_lit(mapping, f0), _map_lit(mapping, f1)
-            )
-        else:
-            mapping[var] = lut(new, table, [int(mapping[l]) for l in cut])
-    for lit in aig.outputs:
-        new.set_output(_map_lit(mapping, lit))
-    return new.extract_cone()
-
-
-def refactor(aig: AIG, max_leaves: int = 10) -> AIG:
-    """MFFC cone resynthesis (ABC ``refactor`` analogue)."""
-    fanout = aig.fanout_counts()
-    new = AIG(aig.n_inputs)
-    mapping = np.zeros(aig.num_vars, dtype=np.int64)
-    for i in range(aig.n_inputs):
-        mapping[1 + i] = new.input_lit(i)
-    base = aig.n_inputs + 1
-    for j in range(aig.num_ands):
-        var = base + j
-        f0, f1 = aig.fanins(var)
-        direct = lambda: new.add_and(  # noqa: E731 - tiny local thunk
-            _map_lit(mapping, f0), _map_lit(mapping, f1)
-        )
-        leaves = _ffc_leaves(aig, var, fanout, max_leaves)
-        if leaves is None:
-            mapping[var] = direct()
-            continue
-        table = cut_function(aig, var, leaves)
-        old_cone = mffc_size(aig, var, fanout)
-        state = new.checkpoint()
-        cand = lut(new, table, [int(mapping[l]) for l in leaves])
-        cost = new.num_ands - state[0]
-        if cost <= old_cone:
-            mapping[var] = cand
-        else:
-            new.rollback(state)
-            mapping[var] = direct()
-    for lit in aig.outputs:
-        new.set_output(_map_lit(mapping, lit))
-    return new.extract_cone()
-
-
-def _ffc_leaves(aig: AIG, var: int, fanout: np.ndarray, max_leaves: int):
-    """Leaf variables of the fanout-free cone of ``var`` (or None)."""
-    leaves = set()
-    stack = [l >> 1 for l in aig.fanins(var)]
-    while stack:
-        v = stack.pop()
-        if aig.is_and_var(v) and fanout[v] == 1:
-            stack.extend(l >> 1 for l in aig.fanins(v))
-        elif not aig.is_const_var(v):
-            leaves.add(v)
-        if len(leaves) > max_leaves:
-            return None
-    if len(leaves) < 2:
-        return None
-    return tuple(sorted(leaves))
-
-
-def compress(aig: AIG, max_rounds: int = 3) -> AIG:
-    """Iterated balance/rewrite/refactor script (``compress2rs`` role).
-
-    Guaranteed not to increase the used-node count.
-    """
-    best = aig.extract_cone()
-    for _ in range(max_rounds):
-        size_before = best.num_ands
-        for pass_fn in (balance, rewrite, refactor, rewrite):
-            cand = pass_fn(best)
-            if cand.num_ands < best.num_ands or (
-                cand.num_ands == best.num_ands and cand.depth() < best.depth()
-            ):
-                best = cand
-        if best.num_ands >= size_before:
-            break
-    return best
+def _ffc_leaves(aig, var, fanout, max_leaves):
+    """Backwards-compatible alias for the iterative FFC-leaf walk."""
+    return _iterative_ffc_leaves(aig, var, fanout, max_leaves)

@@ -24,7 +24,9 @@ class Score:
 
     ``seed`` identifies the trial in multi-seed runs (the runner's
     store sets it when reconstructing scores); ``None`` for ad-hoc
-    single evaluations.
+    single evaluations.  ``num_ands`` counts *used* AND nodes (the
+    transitive fanin of the output) so dead logic in a non-extracted
+    candidate neither inflates the size column nor flips ``legal``.
     """
 
     benchmark: str
@@ -89,7 +91,7 @@ def evaluate_solutions(
                 train_accuracy=accuracy(
                     problem.train.y, pred[n_test + n_valid :]
                 ),
-                num_ands=aig.num_ands,
+                num_ands=aig.count_used_ands(),
                 levels=aig.depth(),
                 legal=solution.is_legal(max_nodes),
             )

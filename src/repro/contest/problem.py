@@ -35,7 +35,14 @@ class LearningProblem:
 
 @dataclass
 class Solution:
-    """A flow's answer: the circuit plus bookkeeping."""
+    """A flow's answer: the circuit plus bookkeeping.
+
+    Size accounting is over *used* nodes (the transitive fanin of the
+    outputs): a graph that still carries dead logic — e.g. a candidate
+    that was never cone-extracted — is judged by what it actually
+    computes with, exactly like a cleaned-up AIGER submission would
+    have been.
+    """
 
     aig: AIG
     method: str
@@ -43,7 +50,7 @@ class Solution:
 
     @property
     def num_ands(self) -> int:
-        return self.aig.num_ands
+        return self.aig.count_used_ands()
 
     def is_legal(self, max_nodes: int = MAX_AND_NODES) -> bool:
-        return self.aig.num_ands <= max_nodes
+        return self.num_ands <= max_nodes

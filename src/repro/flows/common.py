@@ -71,11 +71,17 @@ def pick_best(
     Candidates over the node cap are only used if nothing legal exists;
     they obey the same ``(accuracy, size)`` ordering.  All candidates
     are scored in one batched pass (``data`` is bit-packed once).
+
+    Size — both for the cap check and the tie-break — is the *used*
+    node count, so a candidate that was never cone-extracted is not
+    mis-ranked (or wrongly rejected as over-cap) because of dead logic
+    the final circuit would not even ship.
     """
     candidates = list(candidates)
     if not candidates:
         return None
     preds = output_predictions([aig for _, aig in candidates], data.X)
+    sizes = {id(aig): aig.count_used_ands() for _, aig in candidates}
     best: Optional[Tuple[str, AIG, float]] = None
     fallback: Optional[Tuple[str, AIG, float]] = None
 
@@ -84,12 +90,12 @@ def pick_best(
             return True
         acc, inc_acc = entry[2], incumbent[2]
         return acc > inc_acc or (
-            acc == inc_acc and entry[1].num_ands < incumbent[1].num_ands
+            acc == inc_acc and sizes[id(entry[1])] < sizes[id(incumbent[1])]
         )
 
     for (name, aig), pred in zip(candidates, preds):
         entry = (name, aig, accuracy(data.y, pred))
-        if aig.num_ands <= max_nodes:
+        if sizes[id(aig)] <= max_nodes:
             if better(entry, best):
                 best = entry
         elif better(entry, fallback):

@@ -235,6 +235,26 @@ class TestProblemsAndScoring:
         assert score.num_ands == 0
         assert score.legal
 
+    def test_scoring_counts_used_nodes_only(self, small_problem):
+        # Satellite regression: Score.num_ands and Solution.is_legal
+        # are over used nodes — a deliberately dirty graph (dead logic
+        # that was never cone-extracted) must score by what it ships,
+        # not be mis-ranked or wrongly rejected as over-cap.
+        aig = AIG(small_problem.n_inputs)
+        for i in range(1, small_problem.n_inputs):
+            aig.add_and(aig.input_lit(0), aig.input_lit(i))  # all dead
+        aig.set_output(CONST1)
+        raw = aig.num_ands
+        assert raw == small_problem.n_inputs - 1
+        solution = Solution(aig=aig, method="dirty-const")
+        assert solution.num_ands == 0
+        assert solution.is_legal(max_nodes=raw - 1)  # raw count would fail
+        score = evaluate_solution(
+            small_problem, solution, max_nodes=raw - 1
+        )
+        assert score.num_ands == 0
+        assert score.legal
+
     def test_evaluation_rejects_input_mismatch(self, small_problem):
         aig = AIG(small_problem.n_inputs + 1)
         aig.set_output(CONST1)

@@ -44,15 +44,46 @@ class TestPickBest:
 
     def test_ties_break_by_size(self, data):
         small = _passthrough_aig(4, 1)
+        # Same function built with three *used* (reachable) nodes:
+        # (i1 & i0) | (i1 & ~i0) == i1.
         big = AIG(4)
-        # Same function, one wasted node.
-        x = big.add_and(big.input_lit(1), big.input_lit(1) ^ 1)
-        del x
-        big.set_output(big.input_lit(1))
-        big._fanin0.append(2)   # keep the dead node in the count
-        big._fanin1.append(4)
+        i0, i1 = big.input_lit(0), big.input_lit(1)
+        big.set_output(big.add_or(big.add_and(i1, i0), big.add_and(i1, i0 ^ 1)))
+        assert big.count_used_ands() == 3
         best = pick_best([("big", big), ("small", small)], data)
         assert best[0] == "small"
+
+    def test_dead_nodes_do_not_penalize_ranking(self, data):
+        # Satellite regression: size comparison is over *used* nodes.
+        # A deliberately dirty graph (dead logic never cone-extracted)
+        # computes the same function with the same used count, so it
+        # must not lose the tie-break to the clean copy.
+        clean = _passthrough_aig(4, 1)
+        dirty = AIG(4)
+        for col in (0, 2, 3):  # dead logic, unreachable from the output
+            dirty.add_and(dirty.input_lit(col), dirty.input_lit(1) ^ 1)
+        dirty.set_output(dirty.input_lit(1))
+        assert dirty.num_ands == 3 and dirty.count_used_ands() == 0
+        best = pick_best([("dirty", dirty), ("clean", clean)], data)
+        # Full tie on (accuracy, used size): the first candidate wins,
+        # instead of the dirty one being demoted by its dead nodes.
+        assert best[0] == "dirty"
+
+    def test_dirty_graph_not_rejected_as_over_cap(self, data):
+        # Satellite regression: the cap check is on used nodes, so a
+        # perfect candidate carrying dead logic beyond max_nodes is
+        # still legal and must beat a worse clean candidate.
+        dirty = AIG(4)
+        for col in (0, 2, 3):
+            dirty.add_and(dirty.input_lit(col), dirty.input_lit(1) ^ 1)
+        dirty.set_output(dirty.input_lit(1))
+        best = pick_best(
+            [("const", _const_aig(4, 0)), ("dirty", dirty)],
+            data,
+            max_nodes=2,  # below the raw count (3), above the used count (0)
+        )
+        assert best[0] == "dirty"
+        assert best[2] == 1.0
 
     def test_oversize_used_only_as_fallback(self, data):
         oversize = _passthrough_aig(4, 1)
@@ -65,12 +96,12 @@ class TestPickBest:
 
     def test_oversize_ties_break_by_size(self, data):
         # Regression: the fallback branch must apply the same
-        # "ties broken by smaller circuit" rule as the legal branch.
+        # "ties broken by smaller circuit" rule as the legal branch
+        # (on used nodes, so the extra logic must be reachable).
         small = _passthrough_aig(4, 1)
         big = AIG(4)
-        big.add_and(big.input_lit(0), big.input_lit(2))  # dead node
-        big.add_and(big.input_lit(0), big.input_lit(3))  # dead node
-        big.set_output(big.input_lit(1))
+        i0, i1 = big.input_lit(0), big.input_lit(1)
+        big.set_output(big.add_or(big.add_and(i1, i0), big.add_and(i1, i0 ^ 1)))
         for order in (
             [("big", big), ("small", small)],
             [("small", small), ("big", big)],

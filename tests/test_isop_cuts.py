@@ -144,3 +144,32 @@ class TestCuts:
         aig.set_output(y)
         fanout = aig.fanout_counts()
         assert mffc_size(aig, y >> 1, fanout) == 2
+
+    def test_mffc_iterative_on_deep_chain(self):
+        # Satellite regression: the recursive walk blew the Python
+        # recursion limit on single-fanout chains of this depth.
+        from repro.aig.aig import AIG
+
+        n = 5000
+        aig = AIG(n)
+        acc = aig.input_lit(0)
+        for i in range(1, n):
+            acc = aig.add_and(acc, aig.input_lit(i))
+        aig.set_output(acc)
+        fanout = aig.fanout_counts()
+        assert mffc_size(aig, acc >> 1, fanout) == n - 1
+
+    def test_cut_function_iterative_on_deep_cone(self):
+        # Satellite regression: a 4-leaf cut of a chain over repeated
+        # inputs spans the whole chain; the recursive evaluator
+        # crashed, the iterative one must agree with simulation.
+        from repro.aig.aig import AIG
+
+        aig = AIG(2)
+        x, y = aig.input_lit(0), aig.input_lit(1)
+        acc = x
+        for i in range(5000):
+            acc = aig.add_and(acc, (x, y)[i % 2] ^ ((i // 3) & 1))
+        aig.set_output(acc)
+        table = cut_function(aig, acc >> 1, (x >> 1, y >> 1))
+        assert table == aig.truth_tables()[0]

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.aig.aig import AIG
-from repro.aig.build import multiplier, ripple_adder, symmetric_function
-from repro.aig.optimize import balance, compress, refactor, rewrite
+from repro.aig.build import (multiplier, parity_chain, ripple_adder,
+                             ripple_chain, symmetric_function)
+from repro.aig.optimize import (balance, compress, fraig_lite, refactor,
+                                rewrite)
 from tests.conftest import random_aig
 
-PASSES = [balance, rewrite, refactor, compress]
+PASSES = [balance, rewrite, refactor, fraig_lite, compress]
 
 
 @pytest.mark.parametrize("pass_fn", PASSES)
@@ -79,3 +81,44 @@ class TestImprovement:
             aig.set_output(bit)
         out = compress(aig, max_rounds=1)
         assert out.truth_tables() == aig.truth_tables()
+
+    def test_fraig_merges_structurally_distinct_equivalents(self):
+        # x XOR y built once as OR-of-ANDs and once as a MUX: strash
+        # cannot see the sharing, fraig-lite must prove and merge it.
+        aig = AIG(3)
+        x, y, z = (aig.input_lit(i) for i in range(3))
+        xor1 = aig.add_or(aig.add_and(x, y ^ 1), aig.add_and(x ^ 1, y))
+        # (x | y) & ~(x & y): same function, disjoint structure.
+        xor2 = aig.add_and(aig.add_or(x, y), aig.add_and(x, y) ^ 1)
+        aig.set_output(aig.add_and(xor1, z))
+        aig.set_output(aig.add_and(xor2, z ^ 1))
+        out = fraig_lite(aig)
+        assert out.truth_tables() == aig.truth_tables()
+        assert out.num_ands < aig.count_used_ands()
+
+
+class TestChainRegression:
+    """Deep chain-shaped graphs (what ``build.py`` emits for learned
+    arithmetic) used to blow the Python recursion limit inside the
+    rewriting passes' cone walks.  Satellite regression: ``compress``
+    completes — iteratively — on ~5000-node parity/ripple chains."""
+
+    def test_compress_parity_chain_no_recursion_error(self):
+        aig = parity_chain(n_inputs=4, n_nodes=5000)
+        assert aig.num_ands >= 5000
+        out = compress(aig)  # seed: RecursionError in the cone walks
+        assert out.truth_tables() == aig.truth_tables()
+        assert out.num_ands <= aig.count_used_ands()
+
+    def test_compress_ripple_chain_no_recursion_error(self):
+        aig = ripple_chain(word_width=4, n_nodes=5000)
+        assert aig.num_ands >= 5000
+        out = compress(aig, max_rounds=1)
+        assert out.truth_tables() == aig.truth_tables()
+        assert out.num_ands <= aig.count_used_ands()
+
+    def test_single_passes_survive_chains(self):
+        aig = parity_chain(n_inputs=4, n_nodes=2000)
+        tables = aig.truth_tables()
+        for pass_fn in PASSES:
+            assert pass_fn(aig).truth_tables() == tables

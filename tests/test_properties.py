@@ -5,8 +5,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.aig.aig import AIG, lit_not
 from repro.aig.build import from_truth_table, ripple_adder
+from repro.aig.cec import check_equivalence
 from repro.aig.isop import cover_table, full_mask, isop
-from repro.aig.optimize import balance, rewrite
+from repro.aig.optimize import balance, compress, fraig_lite, refactor, rewrite
 from repro.twolevel.cube import Cube
 from repro.twolevel.espresso import espresso
 from repro.utils.bitops import pack_bits, unpack_bits
@@ -70,6 +71,21 @@ def test_optimization_equivalence(aig):
     tables = aig.truth_tables()
     assert balance(aig).truth_tables() == tables
     assert rewrite(aig).truth_tables() == tables
+
+
+@given(random_aigs())
+@settings(max_examples=25, deadline=None)
+def test_every_pass_is_cec_equivalent_and_never_grows(aig):
+    """Satellite property: each optimization pass (and the compress
+    script) is proven functionally equivalent to its input by CEC
+    (random refutation + exact BDD proof) and never increases the
+    used-node count — the passes only ever rebuild reachable logic."""
+    used_before = aig.count_used_ands()
+    for pass_fn in (balance, rewrite, refactor, fraig_lite, compress):
+        out = pass_fn(aig)
+        equivalent, cex = check_equivalence(aig, out, n_patterns=256)
+        assert equivalent, (pass_fn.__name__, cex)
+        assert out.num_ands <= used_before, pass_fn.__name__
 
 
 @given(random_aigs())

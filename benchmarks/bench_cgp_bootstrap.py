@@ -14,7 +14,7 @@ from _report import echo
 
 from repro.cgp import CGPEvolver, CGPGenome, evolve_from_aig
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS
+from repro.flows import get_flow
 from repro.flows.common import aig_accuracy
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.metrics import accuracy
@@ -44,7 +44,7 @@ def _run(samples, generations):
                            generations=generations)
 
     # The full flow (with its validation guard) on the same problem.
-    solution = ALL_FLOWS["team09"](problem, effort="small")
+    solution = get_flow("team09").run(problem, effort="small")
     flow_score = evaluate_solution(problem, solution)
     starter_test = aig_accuracy(starter, problem.test)
     boot_test = accuracy(problem.test.y,

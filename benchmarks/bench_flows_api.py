@@ -1,0 +1,178 @@
+"""Flow API: artifact-cache sharing + registry dispatch overhead.
+
+Two claims are pinned here:
+
+1. **The artifact cache makes multi-flow portfolios cheaper.**  A
+   two-flow portfolio whose members consume the same deterministic
+   artifact family computes it once: the work-count claim (one miss,
+   one hit, byte-identical Solutions) is asserted unconditionally; the
+   wall-clock claim (shared-cache portfolio faster than the sum of
+   cold runs) is asserted when the box has cores to time reliably
+   (same gating policy as ``bench_runner``).
+
+   The timed pair are two bench-local flows sharing a *heavy* espresso
+   cover, because the real teams' expensive models (forests, LUT nets,
+   MLPs) draw from per-flow sequential RNG streams — their artifacts
+   are bit-different across flows *by design*, and caching them would
+   change flow outputs, which the golden equivalence tests forbid.
+   What the real flows do share deterministically — the merged
+   train+valid dataset and Team 1/7's standard-function match scan —
+   is asserted on the real ``team01``/``team07`` pair.
+
+2. **Registry dispatch adds no measurable overhead** over calling the
+   flow function directly: resolving a name or spec string costs
+   microseconds against flow runtimes of milliseconds to minutes.
+"""
+
+import os
+import time
+
+from _report import echo
+
+from repro.contest import build_suite, make_problem
+from repro.aig.aiger import dumps_aag
+from repro.flows import REGISTRY, get_flow
+from repro.flows.api import ArtifactCache, Candidate, Flow, Stage
+from repro.synth.from_sop import cover_to_aig
+from repro.twolevel.espresso import espresso_from_samples
+
+SAMPLES = 1500
+HEAVY_BENCHMARK = 90  # wide image-like cone: espresso is the hot spot
+
+
+def _shared_cover_stage(ctx):
+    """The shared family: a deterministic espresso cover of the full
+    training set (the same mechanics as team01's espresso stage)."""
+    cover = ctx.artifact(
+        "espresso-cover", ("train", True),
+        lambda: espresso_from_samples(
+            ctx.problem.train.X, ctx.problem.train.y,
+            first_irredundant=True,
+        ),
+    )
+    return [Candidate("espresso", cover_to_aig(cover))]
+
+
+def _bench_flow(name: str) -> Flow:
+    return Flow(
+        name,
+        team="bench",
+        efforts={"small": {}, "full": {}},
+        stages=(Stage("cover", _shared_cover_stage),),
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def test_artifact_cache_two_flow_portfolio():
+    problem = make_problem(
+        build_suite()[HEAVY_BENCHMARK],
+        n_train=SAMPLES, n_valid=SAMPLES, n_test=SAMPLES,
+    )
+    flow_a = REGISTRY.register(_bench_flow("bench-cover-a"))
+    flow_b = REGISTRY.register(_bench_flow("bench-cover-b"))
+    try:
+        cold_a_s, cold_a = _timed(lambda: flow_a.run(problem))
+        cold_b_s, cold_b = _timed(lambda: flow_b.run(problem))
+        cold_sum = cold_a_s + cold_b_s
+
+        cache = ArtifactCache()
+        warm_s, warm = _timed(lambda: get_flow("portfolio").run(
+            problem, flows=["bench-cover-a", "bench-cover-b"],
+            cache=cache,
+        ))
+    finally:
+        REGISTRY.remove("bench-cover-a")
+        REGISTRY.remove("bench-cover-b")
+
+    cores = os.cpu_count() or 1
+    echo(f"\n=== Artifact cache: two-flow portfolio "
+         f"(ex{HEAVY_BENCHMARK}, {SAMPLES} samples, {cores} cores) ===")
+    echo(f"  cold member runs:        {cold_a_s:6.2f} s + "
+         f"{cold_b_s:6.2f} s = {cold_sum:6.2f} s")
+    echo(f"  shared-cache portfolio:  {warm_s:6.2f} s  "
+         f"({cold_sum / warm_s:.2f}x)")
+    echo(f"  cache stats: {cache.stats()}")
+
+    # Work-count claim: the shared family was computed exactly once.
+    assert cache.stats()["espresso-cover"] == {"hits": 1, "misses": 1}
+    # Sharing must not change behaviour: the portfolio's winner is one
+    # of the cold members' circuits, byte for byte.
+    assert dumps_aag(warm.aig.extract_cone()) in {
+        dumps_aag(cold_a.aig.extract_cone()),
+        dumps_aag(cold_b.aig.extract_cone()),
+    }
+    if cores >= 4:
+        assert warm_s < cold_sum, (
+            f"shared-cache portfolio ({warm_s:.2f}s) not faster than "
+            f"the sum of cold runs ({cold_sum:.2f}s)"
+        )
+    else:
+        echo(f"  [{cores}-core box: wall-clock assert skipped; the "
+             f"work-count and byte-identity asserts above still hold]")
+
+
+def test_real_flows_share_the_match_scan():
+    """team01 + team07 share the merged dataset and the standard-
+    function match scan through a portfolio's cache — with
+    byte-identical Solutions to their cold runs."""
+    problem = make_problem(
+        build_suite()[74], n_train=1000, n_valid=1000, n_test=1000
+    )
+    cold01_s, cold01 = _timed(lambda: get_flow("team01").run(problem))
+    cold07_s, cold07 = _timed(lambda: get_flow("team07").run(problem))
+    cache = ArtifactCache()
+    warm_s, warm = _timed(lambda: get_flow("portfolio").run(
+        problem, flows=["team01", "team07"], cache=cache
+    ))
+    echo(f"\n=== Real flows sharing (ex74 parity, team01+team07) ===")
+    echo(f"  cold: {cold01_s + cold07_s:.3f} s   shared-cache "
+         f"portfolio: {warm_s:.3f} s")
+    echo(f"  cache stats: {cache.stats()}")
+    assert cache.stats()["function-match"] == {"hits": 1, "misses": 1}
+    assert cache.stats()["merged-dataset"] == {"hits": 1, "misses": 1}
+    assert warm.metadata["selected_flow"] in ("team01", "team07")
+    chosen = cold01 if warm.metadata["selected_flow"] == "team01" else cold07
+    assert dumps_aag(warm.aig.extract_cone()) == \
+        dumps_aag(chosen.aig.extract_cone())
+
+
+def test_registry_dispatch_overhead():
+    """Resolving through the registry must be noise next to any real
+    flow: micro-seconds per dispatch, <1% of even the cheapest flow."""
+    from repro.runner import resolve_flow
+
+    n = 2000
+    start = time.perf_counter()
+    for _ in range(n):
+        resolve_flow("team10")
+    plain_us = (time.perf_counter() - start) / n * 1e6
+    start = time.perf_counter()
+    for _ in range(n):
+        resolve_flow("team10:effort=full")
+    spec_us = (time.perf_counter() - start) / n * 1e6
+
+    problem = make_problem(build_suite()[74], n_train=64, n_valid=64,
+                           n_test=64)
+    direct_s, direct = _timed(lambda: get_flow("team10").run(problem))
+    resolved_s, resolved = _timed(
+        lambda: resolve_flow("team10")(problem)
+    )
+
+    echo(f"\n=== Registry dispatch overhead ===")
+    echo(f"  resolve plain name:  {plain_us:7.1f} us")
+    echo(f"  resolve spec string: {spec_us:7.1f} us")
+    echo(f"  team10 (64 samples): direct {direct_s * 1e3:.1f} ms, "
+         f"via registry {resolved_s * 1e3:.1f} ms")
+
+    assert direct.method == resolved.method
+    # Generous absolute bounds: dispatch stays 1000x under flow cost.
+    assert plain_us < 500, f"plain resolution {plain_us:.1f}us"
+    assert spec_us < 1000, f"spec resolution {spec_us:.1f}us"
+    assert plain_us * 1e-6 < 0.01 * direct_s, (
+        "registry dispatch is not negligible next to the cheapest flow"
+    )

@@ -15,7 +15,7 @@ average size stays far below the cap, (d) every circuit is legal.
 from _report import echo
 
 from repro.analysis import format_table3, table3
-from repro.flows import ALL_FLOWS, TECHNIQUE_NAMES, TECHNIQUES
+from repro.flows import TECHNIQUE_NAMES, TECHNIQUES
 
 
 def test_table3(benchmark, contest_run, scale):

@@ -14,7 +14,7 @@ from _report import echo
 import numpy as np
 
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS
+from repro.flows import get_flow
 from repro.flows.common import aig_accuracy
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.fringe import FringeDT
@@ -66,7 +66,7 @@ def _run(samples):
         per_method["lutnet"].append(
             (aig_accuracy(lut_aig, problem.test), lut_aig.num_ands)
         )
-        solution = ALL_FLOWS["team03"](problem, effort="small")
+        solution = get_flow("team03").run(problem, effort="small")
         score = evaluate_solution(problem, solution)
         per_method["ensemble"].append(
             (score.test_accuracy, score.num_ands)

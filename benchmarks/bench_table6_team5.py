@@ -14,7 +14,7 @@ from _report import echo
 from collections import Counter
 
 from repro.contest import build_suite, make_problem
-from repro.flows import ALL_FLOWS
+from repro.flows import get_flow
 
 CASES = [0, 21, 30, 50, 60, 74, 75, 80, 90]
 
@@ -25,7 +25,7 @@ def _run(samples):
     for idx in CASES:
         problem = make_problem(suite[idx], n_train=samples,
                                n_valid=samples, n_test=samples)
-        solution = ALL_FLOWS["team05"](problem, effort="small")
+        solution = get_flow("team05").run(problem, effort="small")
         winners.append((suite[idx].name, solution.method))
     return winners
 

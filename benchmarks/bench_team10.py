@@ -13,7 +13,7 @@ from _report import echo
 import numpy as np
 
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS
+from repro.flows import get_flow
 
 
 def _run(indices, samples):
@@ -22,7 +22,7 @@ def _run(indices, samples):
     for idx in indices:
         problem = make_problem(suite[idx], n_train=samples,
                                n_valid=samples, n_test=samples)
-        solution = ALL_FLOWS["team10"](problem, effort="small")
+        solution = get_flow("team10").run(problem, effort="small")
         scores.append(evaluate_solution(problem, solution))
     return scores
 

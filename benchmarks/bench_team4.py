@@ -12,7 +12,7 @@ feature-selectable cases (comparator / image-like).
 from _report import echo
 
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS
+from repro.flows import get_flow
 
 CASES = [30, 50, 74, 80, 90]
 
@@ -23,7 +23,7 @@ def _run(samples):
     for idx in CASES:
         problem = make_problem(suite[idx], n_train=samples,
                                n_valid=samples, n_test=samples)
-        solution = ALL_FLOWS["team04"](problem, effort="small")
+        solution = get_flow("team04").run(problem, effort="small")
         scores[suite[idx].name] = evaluate_solution(problem, solution)
     return scores
 

@@ -11,7 +11,7 @@ Run:  python examples/mini_contest.py          (a few minutes)
 import sys
 
 from repro.analysis import format_table3, run_contest, win_rates
-from repro.flows import ALL_FLOWS
+from repro.flows import TEAM_FLOW_NAMES
 
 FAST_FLOWS = ("team01", "team07", "team10")
 BENCHMARKS = [0, 21, 30, 74, 75, 80, 90]  # one per difficulty flavour
@@ -19,11 +19,13 @@ BENCHMARKS = [0, 21, 30, 74, 75, 80, 90]  # one per difficulty flavour
 
 def main() -> None:
     fast = "--fast" in sys.argv
-    flows = {
-        name: fn
-        for name, fn in ALL_FLOWS.items()
+    # Flows are plain registry names; spec strings like
+    # "team01:effort=full" or "portfolio:flows=team01+team10" are
+    # equally valid here (see `python -m repro.cli flows`).
+    flows = [
+        name for name in TEAM_FLOW_NAMES
         if not fast or name in FAST_FLOWS
-    }
+    ]
     print(f"running {len(flows)} flows over benchmarks "
           f"{['ex%02d' % b for b in BENCHMARKS]} ...\n")
     run = run_contest(

@@ -12,7 +12,7 @@ from pathlib import Path
 
 from repro.aig import write_aag
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS
+from repro.flows import get_flow
 from repro.twolevel.pla import write_pla
 
 
@@ -35,10 +35,19 @@ def main() -> None:
     print(f"wrote {out_dir / (spec.name + '.train.pla')}")
 
     # Run the contest winner's flow (Team 1: matching / espresso /
-    # LUT network / random forest portfolio).
-    solution = ALL_FLOWS["team01"](problem, effort="small")
+    # LUT network / random forest portfolio), resolved through the
+    # flow registry.  ``run_detailed`` also returns the candidate
+    # table: every circuit the flow's stages proposed, not just the
+    # winner.
+    flow = get_flow("team01")
+    print(f"flow stages:   {', '.join(flow.stage_names)}")
+    result = flow.run_detailed(problem, effort="small")
+    solution = result.solution
     score = evaluate_solution(problem, solution)
 
+    for candidate in result.candidates:
+        print(f"  candidate {candidate.name:20s} "
+              f"[{candidate.stage}] {candidate.num_ands} ANDs")
     print(f"method:        {solution.method}")
     print(f"test accuracy: {score.test_accuracy:.4f}")
     print(f"AND nodes:     {score.num_ands} (cap 5000, "

@@ -227,14 +227,21 @@ def run_contest(
     on re-invocation (``resume=True``), so interrupted or extended
     runs never recompute finished work.
 
-    ``flows`` maps display names to flow callables (the historical
-    interface) or is a plain list of flow names.  Parallel or stored
-    runs need callables importable by name so workers can re-resolve
-    them; purely in-process runs (``jobs=1``, no ``out_dir``) keep
-    accepting arbitrary callables (lambdas, partials) and fall back to
-    invoking them directly.
+    ``flows`` is a sequence of registry names / spec strings
+    (``"team01"``, ``"portfolio"``, ``"team01:effort=full"`` — the
+    registry is the source of truth, see :mod:`repro.flows.registry`)
+    or a ``{display name: callable}`` dict (the historical interface).
+    Parallel or stored runs need callables resolvable by name so
+    workers can re-resolve them; purely in-process runs (``jobs=1``,
+    no ``out_dir``) keep accepting arbitrary callables (lambdas,
+    partials) and fall back to invoking them directly.
     """
-    from repro.runner import contest_tasks, flow_name_for, run_contest_tasks
+    from repro.runner import (
+        contest_tasks,
+        flow_name_for,
+        resolve_flow,
+        run_contest_tasks,
+    )
 
     if isinstance(flows, dict):
         try:
@@ -251,6 +258,10 @@ def run_contest(
                 trials=trials, verbose=verbose,
             )
     else:
+        # Fail fast on unknown flows / malformed specs instead of
+        # erroring task-by-task inside the workers.
+        for name in flows:
+            resolve_flow(name)
         flow_names = {name: name for name in flows}
     specs = contest_tasks(
         benchmark_indices,

@@ -1,17 +1,24 @@
 """Command-line interface.
 
     python -m repro.cli run --benchmark 30 --flow team01
+    python -m repro.cli run --benchmark 74 --flow portfolio:flows=team07+team10
     python -m repro.cli contest --benchmarks 0 30 74 --flows team01 team10 \
         --jobs 4 --out-dir runs/mini --trials 3
     python -m repro.cli report --out-dir runs/mini
+    python -m repro.cli flows
     python -m repro.cli list
 
 Mirrors how a contest participant would drive the library: pick
-benchmarks, run flows, read the leaderboard.  ``contest`` fans the
-task grid out over ``--jobs`` worker processes and (with ``--out-dir``)
-persists every completed task, skipping already-stored ones on
-re-invocation; ``report`` rebuilds the tables from such a run
-directory without executing anything.
+benchmarks, run flows, read the leaderboard.  Flows are resolved
+through the registry (:mod:`repro.flows.registry`), so ``--flow`` /
+``--flows`` accept any registered name — including the ``portfolio``
+composite — or spec strings with overrides (``team01:effort=full``).
+``flows`` prints the registry with each flow's team, stages,
+techniques and effort grids.  ``contest`` fans the task grid out over
+``--jobs`` worker processes and (with ``--out-dir``) persists every
+completed task, skipping already-stored ones on re-invocation;
+``report`` rebuilds the tables from such a run directory without
+executing anything.
 """
 
 from __future__ import annotations
@@ -21,7 +28,6 @@ from typing import Optional, Sequence
 
 from repro.analysis import format_table3, run_contest
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS
 
 
 def _validated_indices(parser, indices) -> None:
@@ -33,6 +39,16 @@ def _validated_indices(parser, indices) -> None:
             )
 
 
+def _resolved_flow(parser, spec: str):
+    """Resolve a flow name/spec through the registry, CLI-style."""
+    from repro.runner import resolve_flow
+
+    try:
+        return resolve_flow(spec)
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+
+
 def _cmd_list(args) -> None:
     suite = build_suite()
     for spec in suite:
@@ -41,15 +57,34 @@ def _cmd_list(args) -> None:
     del args
 
 
+def _cmd_flows(parser, args) -> None:
+    """Print the flow registry (or check/resolve one spec string)."""
+    from repro.flows import REGISTRY
+
+    if args.check is not None:
+        resolved = _resolved_flow(parser, args.check)
+        flow = getattr(resolved, "flow", resolved)
+        overrides = getattr(resolved, "overrides", {})
+        print(f"{args.check} -> flow {flow.name!r}"
+              + (f" with overrides {overrides}" if overrides else ""))
+        return
+    for name in REGISTRY.names():
+        flow = REGISTRY.get(name)
+        print(f"{name:<10} [{flow.team}]  {flow.description}")
+        print(f"{'':<10} stages: {', '.join(flow.stage_names)}")
+        print(f"{'':<10} efforts: {', '.join(sorted(flow.efforts))}  "
+              f"techniques: {', '.join(sorted(flow.techniques)) or '-'}")
+
+
 def _cmd_run(parser, args) -> None:
     _validated_indices(parser, [args.benchmark])
+    flow = _resolved_flow(parser, args.flow)
     suite = build_suite()
     problem = make_problem(
         suite[args.benchmark], n_train=args.samples,
         n_valid=args.samples, n_test=args.samples,
         master_seed=args.seed,
     )
-    flow = ALL_FLOWS[args.flow]
     solution = flow(problem, effort=args.effort, master_seed=args.seed)
     score = evaluate_solution(problem, solution)
     print(f"benchmark: {problem.name} ({problem.category})")
@@ -67,6 +102,8 @@ def _cmd_run(parser, args) -> None:
 
 def _cmd_contest(parser, args) -> None:
     _validated_indices(parser, args.benchmarks)
+    for spec in args.flows:
+        _resolved_flow(parser, spec)
     run = run_contest(
         args.benchmarks, list(args.flows), n_train=args.samples,
         n_valid=args.samples, n_test=args.samples,
@@ -104,15 +141,33 @@ def _cmd_report(parser, args) -> None:
     print(_format_win_rates(run.win_rates()))
 
 
+def _default_contest_flows() -> list:
+    from repro.flows import TEAM_FLOW_NAMES
+
+    return sorted(TEAM_FLOW_NAMES)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the 100 benchmarks")
 
+    flows_p = sub.add_parser(
+        "flows", help="list the registered flows (teams, stages, "
+                      "techniques, efforts)")
+    flows_p.add_argument(
+        "--check", default=None, metavar="SPEC",
+        help="resolve a flow spec (e.g. 'team01:effort=full') and "
+             "print the result instead of listing")
+
     run_p = sub.add_parser("run", help="run one flow on one benchmark")
     run_p.add_argument("--benchmark", type=int, required=True)
-    run_p.add_argument("--flow", choices=sorted(ALL_FLOWS), required=True)
+    run_p.add_argument(
+        "--flow", required=True,
+        help="registry name or spec string (see 'repro flows'); e.g. "
+             "team01, portfolio, team01:effort=full, "
+             "portfolio:flows=team01+team10")
     run_p.add_argument("--samples", type=int, default=1000)
     run_p.add_argument("--effort", choices=("small", "full"),
                        default="small")
@@ -123,9 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
     contest_p = sub.add_parser("contest", help="run a mini contest")
     contest_p.add_argument("--benchmarks", type=int, nargs="+",
                            required=True)
-    contest_p.add_argument("--flows", nargs="+",
-                           choices=sorted(ALL_FLOWS),
-                           default=sorted(ALL_FLOWS))
+    contest_p.add_argument(
+        "--flows", nargs="+", default=_default_contest_flows(),
+        metavar="FLOW",
+        help="registry names or spec strings (default: the ten team "
+             "flows); 'portfolio' and overrides like team01:effort=full "
+             "are valid")
     contest_p.add_argument("--samples", type=int, default=400)
     contest_p.add_argument("--effort", choices=("small", "full"),
                            default="small")
@@ -154,6 +212,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     args = parser.parse_args(argv)
     if args.command == "list":
         _cmd_list(args)
+    elif args.command == "flows":
+        _cmd_flows(parser, args)
     elif args.command == "run":
         _cmd_run(parser, args)
     elif args.command == "contest":

@@ -1,17 +1,43 @@
-"""The ten contest team flows plus the virtual-best portfolio.
+"""The ten contest team flows plus the portfolio, as registered Flows.
 
-Each flow module exposes ``run(problem, effort="small", master_seed=0)
--> Solution`` mirroring one team's end-to-end pipeline as described in
-the paper (overview section IV and the per-team appendices).  The
-``effort`` knob selects hyper-parameter grids: ``"small"`` keeps every
-flow laptop-fast for tests and default benches, ``"full"`` uses the
-paper's grids.
+Every flow is a :class:`repro.flows.api.Flow` — a named, registered
+pipeline of :class:`~repro.flows.api.Stage`\\ s with declarative
+metadata (team, paper techniques, effort grids as data) — honouring
+the contract ``run(problem, effort="small", master_seed=0) ->
+Solution``.  The ``effort`` knob selects hyper-parameter grids:
+``"small"`` keeps every flow laptop-fast for tests and default
+benches, ``"full"`` uses the paper's grids.
 
-``TECHNIQUES`` is the Fig. 1 matrix: which representation/technique
-each team used.
+Look flows up through the registry::
+
+    from repro.flows import get_flow, resolve_spec
+
+    solution = get_flow("team01").run(problem, effort="small")
+    result = get_flow("team01").run_detailed(problem)  # + candidate table
+    full = resolve_spec("team01:effort=full")(problem)
+
+``TECHNIQUES`` is the Fig. 1 matrix (derived from the registered
+flows' metadata): which representation/technique each team used.
+
+``ALL_FLOWS`` is the deprecated pre-registry interface — a plain
+``{name: callable}`` dict over the ten team flows.  It keeps working
+(the values are the registered Flow objects, which are callable with
+the historical signature) but new code should use the registry.
 """
 
-from repro.flows import (
+import warnings as _warnings
+
+from repro.flows import api, registry
+from repro.flows.api import ArtifactCache, Candidate, Flow, FlowResult, Stage
+from repro.flows.registry import (
+    REGISTRY,
+    flow_names,
+    get_flow,
+    resolve_spec,
+)
+
+# Importing the flow modules registers their Flows.
+from repro.flows import (  # noqa: E402  (registration side effects)
     team01,
     team02,
     team03,
@@ -22,21 +48,36 @@ from repro.flows import (
     team08,
     team09,
     team10,
+    portfolio as _portfolio_module,
 )
 from repro.flows.portfolio import virtual_best
 
-ALL_FLOWS = {
-    "team01": team01.run,
-    "team02": team02.run,
-    "team03": team03.run,
-    "team04": team04.run,
-    "team05": team05.run,
-    "team06": team06.run,
-    "team07": team07.run,
-    "team08": team08.run,
-    "team09": team09.run,
-    "team10": team10.run,
-}
+#: The ten team flows, in contest order (single source of truth: the
+#: portfolio's default member list).
+TEAM_FLOW_NAMES = _portfolio_module.DEFAULT_MEMBERS
+
+
+class _DeprecatedFlowDict(dict):
+    """``ALL_FLOWS`` shim: warns once on item access, then behaves
+    like the historical dict (values are callable Flow objects)."""
+
+    _warned = False
+
+    def __getitem__(self, key):
+        if not _DeprecatedFlowDict._warned:
+            _DeprecatedFlowDict._warned = True
+            _warnings.warn(
+                "ALL_FLOWS is deprecated; resolve flows through the "
+                "registry (repro.flows.get_flow / resolve_spec)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return super().__getitem__(key)
+
+
+ALL_FLOWS = _DeprecatedFlowDict(
+    (name, REGISTRY.get(name)) for name in TEAM_FLOW_NAMES
+)
 
 # Fig. 1: techniques used by each team.
 TECHNIQUE_NAMES = (
@@ -54,21 +95,26 @@ TECHNIQUE_NAMES = (
     "approximation",
 )
 
+#: Derived from the registered flows' declarative metadata.
 TECHNIQUES = {
-    "team01": {"random forest", "LUT network", "ESPRESSO/SOP",
-               "function matching", "approximation"},
-    "team02": {"decision tree", "rule learner"},
-    "team03": {"decision tree", "neural network", "ensemble"},
-    "team04": {"neural network", "feature selection", "boosting"},
-    "team05": {"decision tree", "random forest", "neural network",
-               "feature selection"},
-    "team06": {"LUT network"},
-    "team07": {"decision tree", "boosting", "function matching",
-               "feature selection"},
-    "team08": {"decision tree", "random forest", "neural network",
-               "ensemble"},
-    "team09": {"CGP", "decision tree", "ESPRESSO/SOP"},
-    "team10": {"decision tree"},
+    name: set(REGISTRY.get(name).techniques) for name in TEAM_FLOW_NAMES
 }
 
-__all__ = ["ALL_FLOWS", "TECHNIQUES", "TECHNIQUE_NAMES", "virtual_best"]
+__all__ = [
+    "ALL_FLOWS",
+    "ArtifactCache",
+    "Candidate",
+    "Flow",
+    "FlowResult",
+    "REGISTRY",
+    "Stage",
+    "TEAM_FLOW_NAMES",
+    "TECHNIQUES",
+    "TECHNIQUE_NAMES",
+    "api",
+    "flow_names",
+    "get_flow",
+    "registry",
+    "resolve_spec",
+    "virtual_best",
+]

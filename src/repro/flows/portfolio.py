@@ -1,19 +1,40 @@
-"""Virtual-best portfolio over the ten team flows.
+"""The portfolio: a registered composite flow over the team flows.
 
 The paper's Fig. 2 Pareto analysis uses the per-benchmark best
 solution across teams ("virtual best").  ``virtual_best`` selects it
-from a set of already-evaluated scores; ``run`` executes a chosen
-subset of flows and keeps the winner by validation accuracy (the only
-fair selector a participant could have used).
+from a set of already-evaluated scores; the registered ``portfolio``
+flow executes a chosen subset of member flows and keeps the winner by
+validation accuracy (the only fair selector a participant could have
+used).
+
+As a :class:`~repro.flows.api.Flow` the portfolio honours the same
+contract as every team flow — ``run(problem, effort, master_seed)`` —
+so it is runnable from the CLI (``repro run --flow portfolio``), valid
+in contest grids, and resolvable by spec string
+(``portfolio:flows=team01+team10,jobs=4``).  Member flows run with a
+*shared* :class:`~repro.flows.api.ArtifactCache`, so deterministic
+artifacts (the merged train+valid dataset, the standard-function match
+scan Teams 1 and 7 both perform) are computed once per problem.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.contest.evaluate import Score
 from repro.contest.problem import LearningProblem, Solution
 from repro.flows import common
+from repro.flows.api import (
+    ArtifactCache,
+    Candidate,
+    Flow,
+    FlowContext,
+    Stage,
+)
+from repro.flows.registry import REGISTRY, register
+
+#: The ten team flows, in historical ``ALL_FLOWS`` order.
+DEFAULT_MEMBERS = tuple(f"team{i:02d}" for i in range(1, 11))
 
 
 def virtual_best(scores_by_team: Dict[str, List[Score]]) -> List[Score]:
@@ -33,23 +54,18 @@ def virtual_best(scores_by_team: Dict[str, List[Score]]) -> List[Score]:
     return best
 
 
-def run(
-    problem: LearningProblem,
-    effort: str = "small",
-    master_seed: int = 0,
-    flows: Optional[Sequence[str]] = None,
-    jobs: int = 1,
-) -> Solution:
-    """Run several team flows, keep the best by validation accuracy.
+def _members_stage(ctx: FlowContext) -> List[Candidate]:
+    """Run the member flows and emit each winner's circuit.
 
     With ``jobs > 1`` the member flows execute concurrently on a
     process pool through the runner task layer; each flow is a pure
     function of (problem, seed), so the selected solution is identical
-    to the serial run's.
+    to the serial run's.  The serial path passes this flow's artifact
+    cache down, so members share deterministic artifacts.
     """
-    from repro.flows import ALL_FLOWS
-
-    names = list(flows) if flows is not None else list(ALL_FLOWS)
+    names = ctx.state.get("flows")
+    names = list(names) if names is not None else list(DEFAULT_MEMBERS)
+    jobs = ctx.state.get("jobs") or 1
     if jobs > 1 and len(names) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -57,8 +73,8 @@ def run(
 
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(run_flow_on_problem, problem, name,
-                            effort, master_seed)
+                pool.submit(run_flow_on_problem, ctx.problem, name,
+                            ctx.effort, ctx.master_seed)
                 for name in names
             ]
             # Collect in submission order: selection must see the same
@@ -69,25 +85,91 @@ def run(
             }
     else:
         solutions = {
-            name: ALL_FLOWS[name](problem, effort=effort,
-                                  master_seed=master_seed)
+            name: REGISTRY.resolve(name)(
+                ctx.problem, effort=ctx.effort,
+                master_seed=ctx.master_seed, cache=ctx.cache,
+            )
             for name in names
         }
-    candidates = [(name, solutions[name].aig) for name in names]
-    best = common.pick_best(candidates, problem.valid)
+    ctx.state["member_names"] = names
+    ctx.state["solutions"] = solutions
+    return [Candidate(name, solutions[name].aig) for name in names]
+
+
+def _select(ctx: FlowContext) -> Solution:
+    """Winner by validation accuracy; the chosen member's method is
+    propagated (``portfolio:team01:rf9``-style provenance)."""
+    best = common.pick_best(
+        [(c.name, c.aig) for c in ctx.candidates], ctx.problem.valid
+    )
     if best is None:
         # No flows requested (or no flow produced a candidate): fall
         # back to the majority constant rather than crashing.
-        fallback = common.constant_solution(problem, "portfolio")
+        fallback = common.constant_solution(ctx.problem, "portfolio")
         fallback.metadata["selected_flow"] = None
         fallback.metadata["valid_accuracy"] = common.aig_accuracy(
-            fallback.aig, problem.valid
+            fallback.aig, ctx.problem.valid
         )
         return fallback
     name, aig, acc = best
-    chosen = solutions[name]
+    chosen = ctx.state["solutions"][name]
     return Solution(
         aig=aig,
         method=f"portfolio:{chosen.method}",
         metadata={"selected_flow": name, "valid_accuracy": acc},
     )
+
+
+class PortfolioFlow(Flow):
+    """Composite flow with two extra (defaulted) contract parameters:
+    the member subset and the process-pool width."""
+
+    def run(
+        self,
+        problem: LearningProblem,
+        effort: str = "small",
+        master_seed: int = 0,
+        *,
+        flows: Optional[Sequence[str]] = None,
+        jobs: int = 1,
+        cache: Optional[ArtifactCache] = None,
+    ) -> Solution:
+        return self.run_detailed(
+            problem, effort=effort, master_seed=master_seed, cache=cache,
+            state={"flows": flows, "jobs": jobs},
+        ).solution
+
+    __call__ = run
+
+
+FLOW = register(PortfolioFlow(
+    "portfolio",
+    team="virtual best",
+    techniques={"ensemble"},
+    description="Runs member team flows (serially with a shared "
+                "artifact cache, or on a process pool) and keeps the "
+                "best by validation accuracy",
+    # Members interpret the effort knob themselves.
+    efforts={"small": {}, "full": {}},
+    stages=(
+        Stage("members", _members_stage, "run the member flows"),
+    ),
+    finalize=None,  # members already finalized their circuits
+    select=_select,
+    spec_params={
+        "flows": lambda value: value.split("+"),
+        "jobs": int,
+    },
+))
+
+
+def run(
+    problem: LearningProblem,
+    effort: str = "small",
+    master_seed: int = 0,
+    flows: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("portfolio")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed,
+                    flows=flows, jobs=jobs)

@@ -16,56 +16,59 @@ constant substitution (``repro.aig.approx``).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
-from repro.aig.aig import AIG
-from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
-from repro.flows.common import (
-    aig_accuracy,
-    constant_solution,
-    finalize_aig,
-    flow_rng,
-    pick_best,
-)
+from repro.contest.problem import LearningProblem, Solution
+from repro.flows.api import Candidate, FinalizeSpec, Flow, FlowContext, Stage
+from repro.flows.api import match_standard_stage
+from repro.flows.common import aig_accuracy
+from repro.flows.registry import register
 from repro.ml.forest import RandomForest
 from repro.ml.lutnet import LUTNetwork
 from repro.synth.from_forest import forest_to_aig
 from repro.synth.from_lutnet import lutnet_to_aig
 from repro.synth.from_sop import cover_to_aig
-from repro.synth.matching import match_standard_function
 from repro.twolevel.espresso import espresso_from_samples
 
-_PARAMS = {
-    "small": {
-        "forest_sizes": (5, 9),
-        "forest_depth": 8,
-        "lut_start": (2, 32),     # layers, width
-        "lut_beam_steps": 2,
-        "espresso_max_samples": 3000,
-    },
-    "full": {
-        "forest_sizes": (5, 7, 9, 11, 13, 15),
-        "forest_depth": 10,
-        "lut_start": (2, 64),
-        "lut_beam_steps": 6,
-        "espresso_max_samples": 13000,
-    },
-}
 
-
-def _lut_beam_search(problem, rng, params) -> List[Tuple[str, AIG]]:
-    """Increment LUT-network shape while validation accuracy improves."""
-    layers, width = params["lut_start"]
-    out: List[Tuple[str, AIG]] = []
-    best_acc = -1.0
-    for _ in range(params["lut_beam_steps"]):
-        net = LUTNetwork(
-            n_layers=layers, luts_per_layer=width, lut_size=4, rng=rng
+def _espresso_stage(ctx: FlowContext) -> List[Candidate]:
+    """ESPRESSO with first-irredundant stop (subsampled when large:
+    two-level covers of huge sample sets overfit anyway)."""
+    limit = ctx.params["espresso_max_samples"]
+    esp_data = ctx.problem.train
+    if esp_data.n_samples > limit:
+        # The subsample draws from the flow's RNG stream, so the cover
+        # is flow-specific and must not be cached.
+        esp_data = esp_data.sample_fraction(
+            limit / esp_data.n_samples, ctx.rng
         )
-        net.fit(problem.train.X, problem.train.y)
+        cover = espresso_from_samples(
+            esp_data.X, esp_data.y, first_irredundant=True
+        )
+    else:
+        # Deterministic function of the training set: shareable.
+        cover = ctx.artifact(
+            "espresso-cover", ("train", True),
+            lambda: espresso_from_samples(
+                esp_data.X, esp_data.y, first_irredundant=True
+            ),
+        )
+    return [Candidate("espresso", cover_to_aig(cover))]
+
+
+def _lut_beam_stage(ctx: FlowContext) -> List[Candidate]:
+    """Increment LUT-network shape while validation accuracy improves."""
+    layers, width = ctx.params["lut_start"]
+    out: List[Candidate] = []
+    best_acc = -1.0
+    for _ in range(ctx.params["lut_beam_steps"]):
+        net = LUTNetwork(
+            n_layers=layers, luts_per_layer=width, lut_size=4, rng=ctx.rng
+        )
+        net.fit(ctx.problem.train.X, ctx.problem.train.y)
         aig = lutnet_to_aig(net).extract_cone()
-        acc = aig_accuracy(aig, problem.valid)
-        out.append((f"lutnet[{layers}x{width}]", aig))
+        acc = aig_accuracy(aig, ctx.problem.valid)
+        out.append(Candidate(f"lutnet[{layers}x{width}]", aig))
         if acc <= best_acc:
             break
         best_acc = acc
@@ -73,60 +76,60 @@ def _lut_beam_search(problem, rng, params) -> List[Tuple[str, AIG]]:
     return out
 
 
+def _forest_stage(ctx: FlowContext) -> List[Candidate]:
+    """Random forests, 4-16 estimators (odd counts for clean votes)."""
+    out: List[Candidate] = []
+    for n_trees in ctx.params["forest_sizes"]:
+        forest = RandomForest(
+            n_trees=n_trees,
+            max_depth=ctx.params["forest_depth"],
+            feature_fraction=0.5,
+            rng=ctx.rng,
+        )
+        forest.fit(ctx.problem.train.X, ctx.problem.train.y)
+        out.append(Candidate(f"rf{n_trees}", forest_to_aig(forest)))
+    return out
+
+
+FLOW = register(Flow(
+    "team01",
+    team="Tokyo/Berkeley",
+    techniques={"random forest", "LUT network", "ESPRESSO/SOP",
+                "function matching", "approximation"},
+    description="Match / espresso / LUT-net beam / forests, "
+                "best-on-validation (the contest winner)",
+    efforts={
+        "small": {
+            "forest_sizes": (5, 9),
+            "forest_depth": 8,
+            "lut_start": (2, 32),     # layers, width
+            "lut_beam_steps": 2,
+            "espresso_max_samples": 3000,
+        },
+        "full": {
+            "forest_sizes": (5, 7, 9, 11, 13, 15),
+            "forest_depth": 10,
+            "lut_start": (2, 64),
+            "lut_beam_steps": 6,
+            "espresso_max_samples": 13000,
+        },
+    },
+    stages=(
+        Stage("match", match_standard_stage,
+              "exact standard-function hit ends the flow"),
+        Stage("espresso", _espresso_stage,
+              "first-irredundant two-level cover"),
+        Stage("lutnet-beam", _lut_beam_stage,
+              "LUT-network shape beam search"),
+        Stage("forests", _forest_stage, "random forest sweep"),
+    ),
+    # Approximate oversize candidates before comparing, as the team did.
+    finalize=FinalizeSpec(),
+))
+
+
 def run(
     problem: LearningProblem, effort: str = "small", master_seed: int = 0
 ) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team01", problem, master_seed)
-
-    # 1. Standard function matching: exact hit ends the flow.
-    merged = problem.merged_train_valid()
-    match = match_standard_function(merged.X, merged.y)
-    if match is not None:
-        return Solution(
-            aig=match.aig.extract_cone(),
-            method="team01:match",
-            metadata={"matched": match.name},
-        )
-
-    candidates: List[Tuple[str, AIG]] = []
-
-    # 2. ESPRESSO with first-irredundant stop (subsampled when large:
-    #    two-level covers of huge sample sets overfit anyway).
-    limit = params["espresso_max_samples"]
-    esp_data = problem.train
-    if esp_data.n_samples > limit:
-        esp_data = esp_data.sample_fraction(limit / esp_data.n_samples, rng)
-    cover = espresso_from_samples(
-        esp_data.X, esp_data.y, first_irredundant=True
-    )
-    candidates.append(("espresso", cover_to_aig(cover)))
-
-    # 3. LUT network beam search.
-    candidates.extend(_lut_beam_search(problem, rng, params))
-
-    # 4. Random forests, 4-16 estimators (odd counts for clean votes).
-    for n_trees in params["forest_sizes"]:
-        forest = RandomForest(
-            n_trees=n_trees,
-            max_depth=params["forest_depth"],
-            feature_fraction=0.5,
-            rng=rng,
-        )
-        forest.fit(problem.train.X, problem.train.y)
-        candidates.append((f"rf{n_trees}", forest_to_aig(forest)))
-
-    # Approximate oversize candidates before comparing, as the team did.
-    reduced: List[Tuple[str, AIG]] = []
-    for name, aig in candidates:
-        aig = finalize_aig(aig, rng, max_nodes=MAX_AND_NODES)
-        reduced.append((name, aig))
-    best = pick_best(reduced, problem.valid)
-    if best is None:
-        return constant_solution(problem, "team01")
-    name, aig, acc = best
-    return Solution(
-        aig=aig,
-        method=f"team01:{name}",
-        metadata={"valid_accuracy": acc},
-    )
+    """Deprecated shim — use ``repro.flows.get_flow("team01")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

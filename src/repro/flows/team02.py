@@ -9,28 +9,23 @@ J48 through a PLA (``j48topla``), PART through a priority network.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import List
 
 from repro.contest.problem import LearningProblem, Solution
-from repro.flows.common import finalize_aig, flow_rng
+from repro.flows.api import (
+    Candidate,
+    FinalizeSpec,
+    Flow,
+    FlowContext,
+    Stage,
+    select_sole_candidate,
+)
+from repro.flows.registry import register
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.metrics import cross_val_accuracy
 from repro.ml.rules import PartRuleLearner
 from repro.synth.from_sop import cover_to_aig
 from repro.synth.from_rules import rules_to_aig
-
-_PARAMS = {
-    "small": {
-        "confidence_factors": (0.01, 0.25),
-        "min_instances": (1, 3),
-        "cv_folds": 3,
-    },
-    "full": {
-        "confidence_factors": (0.001, 0.01, 0.1, 0.25, 0.5),
-        "min_instances": (1, 2, 3, 4, 5, 10),
-        "cv_folds": 10,
-    },
-}
 
 
 def _fit_j48(X, y, cf: float, min_inst: int) -> DecisionTree:
@@ -40,15 +35,11 @@ def _fit_j48(X, y, cf: float, min_inst: int) -> DecisionTree:
     return tree
 
 
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team02", problem, master_seed)
-    merged = problem.merged_train_valid()
+def _cv_family_stage(ctx: FlowContext) -> None:
+    """Step 1: pick classifier family and confidence factor by CV."""
+    params, rng = ctx.params, ctx.rng
+    merged = ctx.merged_train_valid()
     X, y = merged.X, merged.y
-
-    # Step 1: pick classifier family and confidence factor by CV.
     best = None  # (cv_acc, family, cf)
     for cf in params["confidence_factors"]:
         j48_cv = cross_val_accuracy(
@@ -64,9 +55,15 @@ def run(
         for family, acc in (("j48", j48_cv), ("part", part_cv)):
             if best is None or acc > best[0]:
                 best = (acc, family, cf)
-    _, family, cf = best
+    _, ctx.state["family"], ctx.state["cf"] = best
 
-    # Step 2: tune the minimum-instances parameter.
+
+def _tune_min_instances_stage(ctx: FlowContext) -> None:
+    """Step 2: tune the minimum-instances parameter."""
+    params, rng = ctx.params, ctx.rng
+    merged = ctx.merged_train_valid()
+    X, y = merged.X, merged.y
+    family, cf = ctx.state["family"], ctx.state["cf"]
     best_m = None  # (cv_acc, m)
     for m in params["min_instances"]:
         if family == "j48":
@@ -83,9 +80,15 @@ def run(
             )
         if best_m is None or acc > best_m[0]:
             best_m = (acc, m)
-    _, m = best_m
+    _, ctx.state["min_instances"] = best_m
 
-    # Step 3: final training and conversion.
+
+def _train_final_stage(ctx: FlowContext) -> List[Candidate]:
+    """Step 3: final training and conversion."""
+    merged = ctx.merged_train_valid()
+    X, y = merged.X, merged.y
+    family, cf = ctx.state["family"], ctx.state["cf"]
+    m = ctx.state["min_instances"]
     if family == "j48":
         tree = _fit_j48(X, y, cf, m)
         aig = cover_to_aig(tree.to_cover())
@@ -98,5 +101,42 @@ def run(
         aig = rules_to_aig(rules)
         meta = {"family": "part", "cf": cf, "min_instances": m,
                 "rules": len(rules)}
-    aig = finalize_aig(aig, rng)
-    return Solution(aig=aig, method=f"team02:{family}", metadata=meta)
+    return [Candidate(family, aig, provenance=meta)]
+
+
+FLOW = register(Flow(
+    "team02",
+    team="UFPel/UFRGS",
+    techniques={"decision tree", "rule learner"},
+    description="J48 vs PART by cross-validation, -M tuning, retrain "
+                "on train+valid",
+    efforts={
+        "small": {
+            "confidence_factors": (0.01, 0.25),
+            "min_instances": (1, 3),
+            "cv_folds": 3,
+        },
+        "full": {
+            "confidence_factors": (0.001, 0.01, 0.1, 0.25, 0.5),
+            "min_instances": (1, 2, 3, 4, 5, 10),
+            "cv_folds": 10,
+        },
+    },
+    stages=(
+        Stage("cv-family", _cv_family_stage,
+              "choose J48 vs PART and the confidence factor by CV"),
+        Stage("tune-min-instances", _tune_min_instances_stage,
+              "tune -M at the chosen family/CF"),
+        Stage("train-final", _train_final_stage,
+              "train on train+valid merged and convert to an AIG"),
+    ),
+    finalize=FinalizeSpec(),
+    select=select_sole_candidate,
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team02")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

@@ -16,37 +16,23 @@ import numpy as np
 
 from repro.aig.aig import AIG
 from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
-from repro.flows.common import (
-    aig_accuracy,
-    constant_solution,
-    finalize_aig,
-    flow_rng,
+from repro.flows.api import (
+    Candidate,
+    FinalizeSpec,
+    Flow,
+    FlowContext,
+    Stage,
+    StageOutcome,
+    select_sole_candidate,
 )
+from repro.flows.common import aig_accuracy, constant_solution
+from repro.flows.registry import register
 from repro.ml.dataset import Dataset
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.fringe import FringeDT
 from repro.ml.mlp import MLP
 from repro.synth.from_mlp import mlp_to_aig
 from repro.synth.from_tree import fringe_dt_to_aig, tree_to_aig
-
-_PARAMS = {
-    "small": {
-        "dt_depths": (8,),
-        "fringe_iterations": 4,
-        "mlp_hidden": (24,),
-        "mlp_epochs": 15,
-        "mlp_max_inputs": 64,
-        "prune_fanin": 8,
-    },
-    "full": {
-        "dt_depths": (8, 12, None),
-        "fringe_iterations": 10,
-        "mlp_hidden": (64, 32),
-        "mlp_epochs": 60,
-        "mlp_max_inputs": 256,
-        "prune_fanin": 12,
-    },
-}
 
 
 def _train_candidates(
@@ -75,12 +61,10 @@ def _train_candidates(
     return out
 
 
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team03", problem, master_seed)
-    merged = problem.merged_train_valid()
+def _ensemble_stage(ctx: FlowContext) -> StageOutcome:
+    """Train per-partition winners, majority-vote them, recover size."""
+    params, rng, problem = ctx.params, ctx.rng, ctx.problem
+    merged = ctx.merged_train_valid()
     n = merged.n_samples
     order = rng.permutation(n)
     thirds = np.array_split(order, 3)
@@ -125,12 +109,10 @@ def run(
                       key=lambda i: members_now[i][1].num_ands)
         members_now.pop(largest)
         ensemble = ensemble_of(members_now)
-    aig = finalize_aig(ensemble, rng)
-    return Solution(
-        aig=aig,
-        method="team03:ensemble",
-        metadata={"members": [m[0] for m in members_now]},
-    )
+    return [Candidate(
+        "ensemble", ensemble,
+        provenance={"members": [m[0] for m in members_now]},
+    )]
 
 
 def _graft(target: AIG, source: AIG, input_lits) -> int:
@@ -146,3 +128,43 @@ def _graft(target: AIG, source: AIG, input_lits) -> int:
         mapping[base + j] = target.add_and(a, b)
     out = source.outputs[0]
     return mapping[out >> 1] ^ (out & 1)
+
+
+FLOW = register(Flow(
+    "team03",
+    team="NTU",
+    techniques={"decision tree", "neural network", "ensemble"},
+    description="3-partition leave-one-out winners, MAJ-3 vote with "
+                "size recovery",
+    efforts={
+        "small": {
+            "dt_depths": (8,),
+            "fringe_iterations": 4,
+            "mlp_hidden": (24,),
+            "mlp_epochs": 15,
+            "mlp_max_inputs": 64,
+            "prune_fanin": 8,
+        },
+        "full": {
+            "dt_depths": (8, 12, None),
+            "fringe_iterations": 10,
+            "mlp_hidden": (64, 32),
+            "mlp_epochs": 60,
+            "mlp_max_inputs": 256,
+            "prune_fanin": 12,
+        },
+    },
+    stages=(
+        Stage("ensemble", _ensemble_stage,
+              "per-partition winners, majority vote, size recovery"),
+    ),
+    finalize=FinalizeSpec(),
+    select=select_sole_candidate,
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team03")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

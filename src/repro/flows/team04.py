@@ -13,20 +13,16 @@ and retrying when everything scores badly).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
 from repro.aig.aig import AIG
 from repro.aig.build import mux_tree_from_table
 from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
-from repro.flows.common import (
-    aig_accuracy,
-    constant_solution,
-    finalize_aig,
-    flow_rng,
-    pick_best,
-)
+from repro.flows.api import Candidate, Flow, FlowContext, Stage
+from repro.flows.common import constant_solution, finalize_aig, pick_best
+from repro.flows.registry import register
 from repro.ml.feature_select import (
     chi2_scores,
     mutual_info_scores,
@@ -34,25 +30,6 @@ from repro.ml.feature_select import (
 )
 from repro.ml.forest import RandomForest
 from repro.ml.mlp import LogInteractionNet
-
-_PARAMS = {
-    "small": {
-        "ks": (10, 12),
-        "epochs": 15,
-        "n_cross": 24,
-        "hidden": (32,),
-        "perm_repeats": 2,
-        "retries": 1,
-    },
-    "full": {
-        "ks": (10, 11, 12, 13, 14, 15, 16),
-        "epochs": 60,
-        "n_cross": 64,
-        "hidden": (80, 64),
-        "perm_repeats": 10,
-        "retries": 3,
-    },
-}
 
 
 def _feature_groups(problem, params, rng) -> List[np.ndarray]:
@@ -105,14 +82,19 @@ def _subspace_aig(
     return aig
 
 
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
+def _afn_search_stage(ctx: FlowContext) -> List[Candidate]:
+    """The whole retry loop: rank features, train per-group nets,
+    expand subspaces, keep retrying (fresh RNG stream per attempt)
+    until a candidate validates at 60%+ or attempts run out.  The
+    chosen attempt's ``pick_best`` result is stashed for the selector,
+    so the validation sweep runs once."""
+    params, problem = ctx.params, ctx.problem
+    candidates: List[Candidate] = []
+    best = None
     for attempt in range(params["retries"] + 1):
-        rng = flow_rng("team04", problem, master_seed, attempt)
+        rng = ctx.derive_rng(attempt)
         groups = _feature_groups(problem, params, rng)
-        candidates: List[Tuple[str, AIG]] = []
+        candidates = []
         for gi, group in enumerate(groups):
             model = LogInteractionNet(
                 n_cross=params["n_cross"],
@@ -125,13 +107,61 @@ def run(
             )
             aig = _subspace_aig(problem, group, model)
             aig = finalize_aig(aig, rng, max_nodes=MAX_AND_NODES)
-            candidates.append((f"afn[k={len(group)},g={gi}]", aig))
-        best = pick_best(candidates, problem.valid)
+            candidates.append(Candidate(f"afn[k={len(group)},g={gi}]", aig))
+        best = pick_best(
+            [(c.name, c.aig) for c in candidates], problem.valid
+        )
         if best is not None and best[2] >= 0.6:
             break
+    ctx.state["best"] = best
+    return candidates
+
+
+def _select_stashed_best(ctx: FlowContext) -> Solution:
+    """Package the winner the search stage already scored (identical
+    outcome to the default funnel, minus a redundant re-simulation)."""
+    best = ctx.state["best"]
     if best is None:
-        return constant_solution(problem, "team04")
+        return constant_solution(ctx.problem, ctx.flow.name)
     name, aig, acc = best
-    return Solution(
-        aig=aig, method=f"team04:{name}", metadata={"valid_accuracy": acc}
-    )
+    return ctx.flow.package(ctx, name, aig, acc)
+
+
+FLOW = register(Flow(
+    "team04",
+    team="UT Austin",
+    techniques={"neural network", "feature selection", "boosting"},
+    description="Importance-ranked feature groups, AFN-style nets, "
+                "2^k subspace expansion with retries",
+    efforts={
+        "small": {
+            "ks": (10, 12),
+            "epochs": 15,
+            "n_cross": 24,
+            "hidden": (32,),
+            "perm_repeats": 2,
+            "retries": 1,
+        },
+        "full": {
+            "ks": (10, 11, 12, 13, 14, 15, 16),
+            "epochs": 60,
+            "n_cross": 64,
+            "hidden": (80, 64),
+            "perm_repeats": 10,
+            "retries": 3,
+        },
+    },
+    stages=(
+        Stage("afn-search", _afn_search_stage,
+              "feature groups -> subspace nets, retry on bad scores"),
+    ),
+    finalize=None,  # finalization happens inside the attempt loop
+    select=_select_stashed_best,
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team04")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

@@ -18,13 +18,16 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.aig.aig import AIG, lit_not
-from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
-from repro.flows.common import (
-    constant_solution,
-    finalize_aig,
-    flow_rng,
-    pick_best,
+from repro.contest.problem import LearningProblem, Solution
+from repro.flows.api import (
+    ArtifactCache,
+    Candidate,
+    FinalizeSpec,
+    Flow,
+    FlowContext,
+    Stage,
 )
+from repro.flows.registry import register
 from repro.ml.dataset import Dataset
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.feature_select import select_k_best, select_percentile
@@ -33,31 +36,6 @@ from repro.ml.metrics import accuracy
 from repro.ml.mlp import MLP
 from repro.synth.from_forest import forest_to_aig
 from repro.synth.from_tree import tree_to_aig
-
-_PARAMS = {
-    "small": {
-        "depths": (10,),
-        "proportions": (0.8, 0.4),
-        "selectors": (None, ("kbest", 0.5, "chi2")),
-        "seeds": (0,),
-        "mlp_epochs": 10,
-    },
-    "full": {
-        "depths": (10, 20),
-        "proportions": (0.8, 0.4),
-        "selectors": (
-            None,
-            ("kbest", 0.25, "chi2"), ("kbest", 0.5, "chi2"),
-            ("kbest", 0.75, "chi2"),
-            ("kbest", 0.5, "f_classif"),
-            ("kbest", 0.5, "mutual_info_classif"),
-            ("percentile", 25, "chi2"), ("percentile", 50, "chi2"),
-            ("percentile", 75, "chi2"),
-        ),
-        "seeds": (0, 1, 2),
-        "mlp_epochs": 30,
-    },
-}
 
 # The 2-level expression shapes of the exhaustive four-feature search.
 _OPS = ("and", "or", "xor")
@@ -124,18 +102,29 @@ def _expression_aig(n_inputs: int, recipe) -> AIG:
     return aig
 
 
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team05", problem, master_seed)
-    merged = problem.merged_train_valid()
-    # 80/20 stratified split preserving the label distribution.
-    train80, valid20 = merged.split_stratified(0.8, rng)
+def _split_stage(ctx: FlowContext) -> None:
+    """80/20 stratified split preserving the label distribution; the
+    20% side is the flow's private selection set."""
+    merged = ctx.merged_train_valid()
+    train80, valid20 = merged.split_stratified(0.8, ctx.rng)
+    ctx.state["train80"] = train80
+    ctx.state["selection_data"] = valid20
 
-    candidates: List[Tuple[str, AIG]] = []
+
+def _grid_stage(ctx: FlowContext) -> List[Candidate]:
+    """The DT/RF sweep over (seed, proportion, selector, depth).
+
+    Decision trees are deterministic in their training data, so the
+    synthesized+embedded tree AIG is cached by a digest of (columns,
+    data): at full effort the 80%-proportion grid cells are identical
+    across the three sweep seeds and train once.  Forests draw from
+    the per-seed RNG stream and are never cached.
+    """
+    params, problem = ctx.params, ctx.problem
+    train80 = ctx.state["train80"]
+    out: List[Candidate] = []
     for seed in params["seeds"]:
-        seed_rng = flow_rng("team05", problem, master_seed, "grid", seed)
+        seed_rng = ctx.derive_rng("grid", seed)
         for proportion in params["proportions"]:
             if proportion >= 0.8:
                 train = train80
@@ -147,52 +136,49 @@ def run(
                 cols = _select(train, selector)
                 Xs = train.X[:, cols]
                 for depth in params["depths"]:
-                    tree = DecisionTree(
-                        max_depth=depth, criterion="gini"
-                    ).fit(Xs, train.y)
-                    candidates.append(
-                        (
-                            f"dt[d={depth},p={proportion}]",
-                            _embed(tree_to_aig(tree), cols,
-                                   problem.n_inputs),
-                        )
+                    digest = ArtifactCache.dataset_digest(
+                        Xs, train.y, cols
                     )
+                    tree_aig = ctx.artifact(
+                        "decision-tree",
+                        (digest, depth, "gini", problem.n_inputs),
+                        lambda: _embed(
+                            tree_to_aig(DecisionTree(
+                                max_depth=depth, criterion="gini"
+                            ).fit(Xs, train.y)),
+                            cols, problem.n_inputs,
+                        ),
+                    )
+                    out.append(Candidate(
+                        f"dt[d={depth},p={proportion}]", tree_aig
+                    ))
                     forest = RandomForest(
                         n_trees=3, max_depth=depth,
                         feature_fraction=0.7, rng=seed_rng,
                     ).fit(Xs, train.y)
-                    candidates.append(
-                        (
-                            f"rf3[d={depth},p={proportion}]",
-                            _embed(forest_to_aig(forest), cols,
-                                   problem.n_inputs),
-                        )
-                    )
+                    out.append(Candidate(
+                        f"rf3[d={depth},p={proportion}]",
+                        _embed(forest_to_aig(forest), cols,
+                               problem.n_inputs),
+                    ))
+    return out
 
-    # NN-guided four-feature expression search.
-    mlp = MLP(hidden_sizes=(100,), activation="relu", rng=rng)
+
+def _expression_stage(ctx: FlowContext) -> List[Candidate]:
+    """NN-guided four-feature expression search."""
+    params, problem = ctx.params, ctx.problem
+    train80 = ctx.state["train80"]
+    valid20 = ctx.state["selection_data"]
+    mlp = MLP(hidden_sizes=(100,), activation="relu", rng=ctx.rng)
     mlp.fit(train80.X.astype(float), train80.y,
             epochs=params["mlp_epochs"])
     top4 = np.argsort(-mlp.feature_importance(), kind="stable")[:4]
     score, recipe = _expression_search(
         top4, train80.X, train80.y, valid20.X, valid20.y
     )
-    if recipe is not None:
-        candidates.append(("nn-expr", _expression_aig(problem.n_inputs,
-                                                      recipe)))
-
-    finalized = [
-        (name, finalize_aig(aig, rng, max_nodes=MAX_AND_NODES,
-                            optimize=aig.num_ands < 4000))
-        for name, aig in candidates
-    ]
-    best = pick_best(finalized, valid20)
-    if best is None:
-        return constant_solution(problem, "team05")
-    name, aig, acc = best
-    return Solution(
-        aig=aig, method=f"team05:{name}", metadata={"valid_accuracy": acc}
-    )
+    if recipe is None:
+        return []
+    return [Candidate("nn-expr", _expression_aig(problem.n_inputs, recipe))]
 
 
 def _select(train: Dataset, selector) -> np.ndarray:
@@ -223,3 +209,52 @@ def _embed(aig: AIG, cols: np.ndarray, n_inputs: int) -> AIG:
     lit = aig.outputs[0]
     out.set_output(mapping[lit >> 1] ^ (lit & 1))
     return out
+
+
+FLOW = register(Flow(
+    "team05",
+    team="UFRGS/UFSC",
+    techniques={"decision tree", "random forest", "neural network",
+                "feature selection"},
+    description="DT/RF hyper-grid with feature pre-selection plus the "
+                "NN-guided 4-feature expression rescue",
+    efforts={
+        "small": {
+            "depths": (10,),
+            "proportions": (0.8, 0.4),
+            "selectors": (None, ("kbest", 0.5, "chi2")),
+            "seeds": (0,),
+            "mlp_epochs": 10,
+        },
+        "full": {
+            "depths": (10, 20),
+            "proportions": (0.8, 0.4),
+            "selectors": (
+                None,
+                ("kbest", 0.25, "chi2"), ("kbest", 0.5, "chi2"),
+                ("kbest", 0.75, "chi2"),
+                ("kbest", 0.5, "f_classif"),
+                ("kbest", 0.5, "mutual_info_classif"),
+                ("percentile", 25, "chi2"), ("percentile", 50, "chi2"),
+                ("percentile", 75, "chi2"),
+            ),
+            "seeds": (0, 1, 2),
+            "mlp_epochs": 30,
+        },
+    },
+    stages=(
+        Stage("split", _split_stage, "80/20 stratified re-split"),
+        Stage("grid", _grid_stage, "DT/RF sweep with feature selection"),
+        Stage("nn-expr", _expression_stage,
+              "NN-ranked 4-feature expression search"),
+    ),
+    # The team skipped the expensive passes on big SOPs.
+    finalize=FinalizeSpec(optimize=lambda aig: aig.num_ands < 4000),
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team05")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

@@ -10,39 +10,22 @@ ablation bench reproduces.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
-from repro.aig.aig import AIG
 from repro.contest.problem import LearningProblem, Solution
-from repro.flows.common import (
-    constant_solution,
-    finalize_aig,
-    flow_rng,
-    pick_best,
-)
+from repro.flows.api import Candidate, Flow, FlowContext, Stage
+from repro.flows.common import finalize_aig
+from repro.flows.registry import register
 from repro.ml.lutnet import LUTNetwork
 from repro.synth.from_lutnet import lutnet_to_aig
 
-_PARAMS = {
-    "small": {
-        "shapes": ((2, 32), (3, 64)),
-        "lut_sizes": (4,),
-        "schemes": ("random", "unique"),
-    },
-    "full": {
-        "shapes": ((2, 64), (3, 128), (4, 256), (6, 256)),
-        "lut_sizes": (2, 4, 6),
-        "schemes": ("random", "unique"),
-    },
-}
 
-
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team06", problem, master_seed)
-    candidates: List[Tuple[str, AIG]] = []
+def _lut_sweep_stage(ctx: FlowContext) -> List[Candidate]:
+    """Sweep scheme x arity x shape; candidates are finalized inline
+    (the RNG stream interleaves training and finalization, as the
+    original flow did)."""
+    params, rng, problem = ctx.params, ctx.rng, ctx.problem
+    out: List[Candidate] = []
     for scheme in params["schemes"]:
         for lut_size in params["lut_sizes"]:
             for layers, width in params["shapes"]:
@@ -56,13 +39,40 @@ def run(
                 net.fit(problem.train.X, problem.train.y)
                 aig = lutnet_to_aig(net)
                 aig = finalize_aig(aig, rng, optimize=aig.num_ands < 4000)
-                candidates.append(
-                    (f"lutnet[{scheme},k={lut_size},{layers}x{width}]", aig)
-                )
-    best = pick_best(candidates, problem.valid)
-    if best is None:
-        return constant_solution(problem, "team06")
-    name, aig, acc = best
-    return Solution(
-        aig=aig, method=f"team06:{name}", metadata={"valid_accuracy": acc}
-    )
+                out.append(Candidate(
+                    f"lutnet[{scheme},k={lut_size},{layers}x{width}]", aig
+                ))
+    return out
+
+
+FLOW = register(Flow(
+    "team06",
+    team="TU Dresden",
+    techniques={"LUT network"},
+    description="Memorization LUT networks over arity/shape/wiring "
+                "sweeps",
+    efforts={
+        "small": {
+            "shapes": ((2, 32), (3, 64)),
+            "lut_sizes": (4,),
+            "schemes": ("random", "unique"),
+        },
+        "full": {
+            "shapes": ((2, 64), (3, 128), (4, 256), (6, 256)),
+            "lut_sizes": (2, 4, 6),
+            "schemes": ("random", "unique"),
+        },
+    },
+    stages=(
+        Stage("lut-sweep", _lut_sweep_stage,
+              "LUT-network hyper-parameter sweep"),
+    ),
+    finalize=None,  # finalization interleaves with training
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team06")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

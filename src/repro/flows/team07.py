@@ -13,37 +13,30 @@ busts the cap.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
-from repro.flows.common import aig_accuracy, finalize_aig, flow_rng
+from repro.flows.api import (
+    Candidate,
+    FinalizeSpec,
+    Flow,
+    FlowContext,
+    Stage,
+    match_standard_stage,
+    select_sole_candidate,
+)
+from repro.flows.registry import register
 from repro.ml.boosting import GradientBoostedTrees
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.metrics import cross_val_accuracy
 from repro.synth.from_boosted import boosted_to_aig
 from repro.synth.from_sop import cover_to_aig
-from repro.synth.matching import match_standard_function
-
-_PARAMS = {
-    "small": {"n_rounds": 40, "depth": 4, "cv_folds": 3},
-    "full": {"n_rounds": 125, "depth": 5, "cv_folds": 10},
-}
 
 
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team07", problem, master_seed)
-    merged = problem.merged_train_valid()
-
-    match = match_standard_function(merged.X, merged.y)
-    if match is not None:
-        return Solution(
-            aig=match.aig.extract_cone(),
-            method="team07:match",
-            metadata={"matched": match.name},
-        )
-
-    X, y = problem.train.X, problem.train.y
+def _model_stage(ctx: FlowContext) -> List[Candidate]:
+    """CV chooses DT vs boosted trees; cap recovery refits smaller."""
+    params, rng = ctx.params, ctx.rng
+    X, y = ctx.problem.train.X, ctx.problem.train.y
     dt_cv = cross_val_accuracy(
         lambda Xa, ya, Xb: DecisionTree().fit(Xa, ya).predict(Xb),
         X, y, params["cv_folds"], rng,
@@ -79,9 +72,35 @@ def run(
             ).fit(X, y)
             aig = boosted_to_aig(model)
         family = "xgb"
-    aig = finalize_aig(aig, rng)
-    return Solution(
-        aig=aig,
-        method=f"team07:{family}",
-        metadata={"dt_cv": dt_cv, "xgb_cv": xgb_cv},
-    )
+    return [Candidate(
+        family, aig, provenance={"dt_cv": dt_cv, "xgb_cv": xgb_cv}
+    )]
+
+
+FLOW = register(Flow(
+    "team07",
+    team="Wisconsin/IBM",
+    techniques={"decision tree", "boosting", "function matching",
+                "feature selection"},
+    description="Standard-function matching, else CV-chosen DT vs "
+                "gradient boosting with cap recovery",
+    efforts={
+        "small": {"n_rounds": 40, "depth": 4, "cv_folds": 3},
+        "full": {"n_rounds": 125, "depth": 5, "cv_folds": 10},
+    },
+    stages=(
+        Stage("match", match_standard_stage,
+              "exact standard-function hit ends the flow"),
+        Stage("model", _model_stage,
+              "CV-selected DT or boosted ensemble"),
+    ),
+    finalize=FinalizeSpec(),
+    select=select_sole_candidate,
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team07")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

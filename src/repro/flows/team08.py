@@ -11,43 +11,48 @@ validation accuracy that stays under 5000 gates is submitted.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
 from repro.aig.aig import AIG
 from repro.aig.build import from_truth_table
-from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
-from repro.flows.common import (
-    constant_solution,
-    finalize_aig,
-    flow_rng,
-    pick_best,
-)
+from repro.contest.problem import LearningProblem, Solution
+from repro.flows.api import Candidate, FinalizeSpec, Flow, FlowContext, Stage
+from repro.flows.registry import register
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.forest import RandomForest
 from repro.ml.mlp import MLP
 from repro.synth.from_forest import forest_to_aig
 from repro.synth.from_tree import tree_to_aig
 
-_PARAMS = {
-    "small": {
-        "taus": (0.01,),
-        "min_samples": (1, 8),
-        "forest_trees": 9,
-        "mlp_max_inputs": 16,
-        "mlp_epochs": 30,
-        "mlp_hidden": (24, 12),
-    },
-    "full": {
-        "taus": (0.005, 0.02, 0.05),
-        "min_samples": (1, 4, 8, 16),
-        "forest_trees": 17,
-        "mlp_max_inputs": 20,
-        "mlp_epochs": 80,
-        "mlp_hidden": (64, 32),
-    },
-}
+
+def _decomposing_tree_stage(ctx: FlowContext) -> List[Candidate]:
+    """Custom C4.5 with functional decomposition (grid over tau / N)."""
+    params, problem = ctx.params, ctx.problem
+    X, y = problem.train.X, problem.train.y
+    out: List[Candidate] = []
+    for tau in params["taus"]:
+        for min_samples in params["min_samples"]:
+            tree = DecisionTree(
+                min_samples_leaf=min_samples,
+                decomposition_tau=tau,
+                max_depth=12,
+            ).fit(X, y)
+            out.append(Candidate(
+                f"bdt[tau={tau},N={min_samples}]", tree_to_aig(tree)
+            ))
+    return out
+
+
+def _forest_stage(ctx: FlowContext) -> List[Candidate]:
+    params, problem = ctx.params, ctx.problem
+    forest = RandomForest(
+        n_trees=params["forest_trees"], max_depth=8, rng=ctx.rng
+    ).fit(problem.train.X, problem.train.y)
+    return [Candidate(
+        f"rf{params['forest_trees']}", forest_to_aig(forest)
+    )]
 
 
 def _mlp_truth_table_aig(
@@ -69,48 +74,57 @@ def _mlp_truth_table_aig(
     return from_truth_table(table, n)
 
 
+def _mlp_stage(ctx: FlowContext) -> List[Candidate]:
+    """Sine/ReLU MLPs via full truth-table enumeration (small inputs)."""
+    params, problem = ctx.params, ctx.problem
+    if problem.n_inputs > params["mlp_max_inputs"]:
+        return []
+    return [
+        Candidate(
+            f"mlp-{activation}",
+            _mlp_truth_table_aig(problem, params, activation, ctx.rng),
+        )
+        for activation in ("sine", "relu")
+    ]
+
+
+FLOW = register(Flow(
+    "team08",
+    team="Cornell",
+    techniques={"decision tree", "random forest", "neural network",
+                "ensemble"},
+    description="Bucket of models: decomposing C4.5 grid, 17-tree "
+                "forest, sine/ReLU MLPs by truth-table enumeration",
+    efforts={
+        "small": {
+            "taus": (0.01,),
+            "min_samples": (1, 8),
+            "forest_trees": 9,
+            "mlp_max_inputs": 16,
+            "mlp_epochs": 30,
+            "mlp_hidden": (24, 12),
+        },
+        "full": {
+            "taus": (0.005, 0.02, 0.05),
+            "min_samples": (1, 4, 8, 16),
+            "forest_trees": 17,
+            "mlp_max_inputs": 20,
+            "mlp_epochs": 80,
+            "mlp_hidden": (64, 32),
+        },
+    },
+    stages=(
+        Stage("decomposing-trees", _decomposing_tree_stage,
+              "C4.5 + functional decomposition grid"),
+        Stage("forest", _forest_stage, "17-tree random forest"),
+        Stage("mlp", _mlp_stage, "sine/ReLU MLP truth-table synthesis"),
+    ),
+    finalize=FinalizeSpec(),
+))
+
+
 def run(
     problem: LearningProblem, effort: str = "small", master_seed: int = 0
 ) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team08", problem, master_seed)
-    X, y = problem.train.X, problem.train.y
-    candidates: List[Tuple[str, AIG]] = []
-
-    # Custom C4.5 with functional decomposition (grid over tau / N).
-    for tau in params["taus"]:
-        for min_samples in params["min_samples"]:
-            tree = DecisionTree(
-                min_samples_leaf=min_samples,
-                decomposition_tau=tau,
-                max_depth=12,
-            ).fit(X, y)
-            candidates.append(
-                (f"bdt[tau={tau},N={min_samples}]", tree_to_aig(tree))
-            )
-
-    forest = RandomForest(
-        n_trees=params["forest_trees"], max_depth=8, rng=rng
-    ).fit(X, y)
-    candidates.append((f"rf{params['forest_trees']}", forest_to_aig(forest)))
-
-    if problem.n_inputs <= params["mlp_max_inputs"]:
-        for activation in ("sine", "relu"):
-            candidates.append(
-                (
-                    f"mlp-{activation}",
-                    _mlp_truth_table_aig(problem, params, activation, rng),
-                )
-            )
-
-    finalized = [
-        (name, finalize_aig(aig, rng, max_nodes=MAX_AND_NODES))
-        for name, aig in candidates
-    ]
-    best = pick_best(finalized, problem.valid)
-    if best is None:
-        return constant_solution(problem, "team08")
-    name, aig, acc = best
-    return Solution(
-        aig=aig, method=f"team08:{name}", metadata={"valid_accuracy": acc}
-    )
+    """Deprecated shim — use ``repro.flows.get_flow("team08")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

@@ -11,14 +11,13 @@ selection of larger phenotypes comes from ``repro.cgp``.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.cgp import AIG_FUNCTIONS, XAIG_FUNCTIONS, CGPEvolver, CGPGenome
 from repro.contest.problem import LearningProblem, Solution
-from repro.flows.common import (
-    aig_accuracy,
-    finalize_aig,
-    flow_rng,
-    pick_best,
-)
+from repro.flows.api import Candidate, FinalizeSpec, Flow, FlowContext, Stage
+from repro.flows.common import aig_accuracy
+from repro.flows.registry import register
 from repro.ml.decision_tree import DecisionTree
 from repro.synth.from_sop import cover_to_aig
 from repro.synth.from_tree import tree_to_aig
@@ -26,31 +25,11 @@ from repro.twolevel.espresso import espresso_from_samples
 
 BOOTSTRAP_THRESHOLD = 0.55
 
-_PARAMS = {
-    "small": {
-        "generations": 600,
-        "random_nodes": 200,
-        "batch_size": 512,
-        "batch_generations": 200,
-        "espresso_max_samples": 1500,
-        "function_sets": ("aig",),
-    },
-    "full": {
-        "generations": 25000,
-        "random_nodes": 5000,
-        "batch_size": 1024,
-        "batch_generations": 1000,
-        "espresso_max_samples": 8000,
-        "function_sets": ("aig", "xaig"),
-    },
-}
 
-
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    params = _PARAMS[effort]
-    rng = flow_rng("team09", problem, master_seed)
+def _evolve_stage(ctx: FlowContext) -> List[Candidate]:
+    """Bootstrap starters on half the data, CGP-evolve, and send both
+    the evolved circuit and the starter into the funnel."""
+    params, rng, problem = ctx.params, ctx.rng, ctx.problem
 
     # Bootstrap candidates trained on half the training set (the other
     # half is reserved for the CGP fine-tuning, per the write-up).
@@ -87,7 +66,7 @@ def run(
             generations=params["generations"],
             seed_genome=seed,
         )
-        mode = f"bootstrap[{boot_name}]"
+        ctx.state["mode"] = f"bootstrap[{boot_name}]"
     else:
         evolver = CGPEvolver(
             n_nodes=params["random_nodes"],
@@ -100,17 +79,59 @@ def run(
             problem.train.X, problem.train.y,
             generations=params["generations"],
         )
-        mode = "random-init"
-    aig = finalize_aig(genome.to_aig(), rng)
+        ctx.state["mode"] = "random-init"
+    ctx.state["train_fitness"] = fit
     # Keep whichever of {evolved, starter} validates better.
-    best = pick_best(
-        [("evolved", aig), (f"starter-{boot_name}",
-                            finalize_aig(boot_aig, rng))],
-        problem.valid,
-    )
-    name, aig, acc = best
+    return [
+        Candidate("evolved", genome.to_aig()),
+        Candidate(f"starter-{boot_name}", boot_aig),
+    ]
+
+
+def _package(ctx: FlowContext, name, aig, acc) -> Solution:
     return Solution(
         aig=aig,
-        method=f"team09:{mode}:{name}",
-        metadata={"train_fitness": fit, "valid_accuracy": acc},
+        method=f"{ctx.flow.name}:{ctx.state['mode']}:{name}",
+        metadata={"train_fitness": ctx.state["train_fitness"],
+                  "valid_accuracy": acc},
     )
+
+
+FLOW = register(Flow(
+    "team09",
+    team="UFSC/UFRGS",
+    techniques={"CGP", "decision tree", "ESPRESSO/SOP"},
+    description="CGP fine-tuning bootstrapped from DT/espresso "
+                "starters (random init below 55%)",
+    efforts={
+        "small": {
+            "generations": 600,
+            "random_nodes": 200,
+            "batch_size": 512,
+            "batch_generations": 200,
+            "espresso_max_samples": 1500,
+            "function_sets": ("aig",),
+        },
+        "full": {
+            "generations": 25000,
+            "random_nodes": 5000,
+            "batch_size": 1024,
+            "batch_generations": 1000,
+            "espresso_max_samples": 8000,
+            "function_sets": ("aig", "xaig"),
+        },
+    },
+    stages=(
+        Stage("evolve", _evolve_stage,
+              "bootstrap starters, CGP evolution, starter rescue"),
+    ),
+    finalize=FinalizeSpec(),
+    package=_package,
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team09")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

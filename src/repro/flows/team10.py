@@ -10,8 +10,19 @@ AND nodes, none above 300).
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.contest.problem import LearningProblem, Solution
-from repro.flows.common import aig_accuracy, finalize_aig, flow_rng
+from repro.flows.api import (
+    Candidate,
+    FinalizeSpec,
+    Flow,
+    FlowContext,
+    Stage,
+    select_sole_candidate,
+)
+from repro.flows.common import aig_accuracy
+from repro.flows.registry import register
 from repro.ml.decision_tree import DecisionTree
 from repro.synth.from_tree import tree_to_aig
 
@@ -19,25 +30,45 @@ MAX_DEPTH = 8
 MIN_VALID_ACCURACY = 0.70
 
 
-def run(
-    problem: LearningProblem, effort: str = "small", master_seed: int = 0
-) -> Solution:
-    del effort  # this flow has a single configuration
-    rng = flow_rng("team10", problem, master_seed)
+def _tree_stage(ctx: FlowContext) -> List[Candidate]:
+    problem = ctx.problem
     tree = DecisionTree(max_depth=MAX_DEPTH, criterion="gini")
     tree.fit(problem.train.X, problem.train.y)
     aig = tree_to_aig(tree)
     valid_acc = aig_accuracy(aig, problem.valid)
     augmented = False
     if valid_acc < MIN_VALID_ACCURACY:
-        merged = problem.merged_train_valid()
+        merged = ctx.merged_train_valid()
         tree = DecisionTree(max_depth=MAX_DEPTH, criterion="gini")
         tree.fit(merged.X, merged.y)
         aig = tree_to_aig(tree)
         augmented = True
-    aig = finalize_aig(aig, rng)
-    return Solution(
-        aig=aig,
-        method="team10:dt8",
-        metadata={"augmented": augmented, "leaves": tree.num_leaves()},
-    )
+    return [Candidate(
+        "dt8", aig,
+        provenance={"augmented": augmented, "leaves": tree.num_leaves()},
+    )]
+
+
+FLOW = register(Flow(
+    "team10",
+    team="Utah",
+    techniques={"decision tree"},
+    description="Depth-8 decision tree, retrained on train+valid when "
+                "validation accuracy dips below 70%",
+    # A single configuration: the effort knob is accepted (contract)
+    # but changes nothing.
+    efforts={"small": {}, "full": {}},
+    stages=(
+        Stage("dt8", _tree_stage,
+              "depth-8 DT with conditional augmentation"),
+    ),
+    finalize=FinalizeSpec(),
+    select=select_sole_candidate,
+))
+
+
+def run(
+    problem: LearningProblem, effort: str = "small", master_seed: int = 0
+) -> Solution:
+    """Deprecated shim — use ``repro.flows.get_flow("team10")``."""
+    return FLOW.run(problem, effort=effort, master_seed=master_seed)

@@ -8,9 +8,12 @@ makes the parallel runner deterministic (any process, any order, same
 record), makes resume sound (a stored record fully substitutes for a
 re-execution), and makes the golden determinism tests possible.
 
-Flows are referenced by name, never by callable: either a key of
-``repro.flows.ALL_FLOWS`` or a ``"module:qualname"`` dotted path (the
-escape hatch benches and downstream users need for custom flows).
+Flows are referenced by name, never by callable: a registry name or
+spec string (``"team01"``, ``"team01:effort=full"``,
+``"portfolio:flows=team01+team10"`` — see
+:mod:`repro.flows.registry`) or a ``"module:qualname"`` dotted path
+(the escape hatch benches and downstream users need for custom flows
+that are not registered).
 """
 
 from __future__ import annotations
@@ -54,23 +57,27 @@ class TaskSpec:
 
 
 def resolve_flow(name: str) -> Callable:
-    """Turn a flow name into its callable.
+    """Turn a flow name into its contract callable.
 
-    Plain names resolve through ``ALL_FLOWS``; names containing a
-    colon are treated as ``module:qualname`` import paths.
+    Resolution order: the flow registry (plain names return the
+    registered :class:`~repro.flows.api.Flow`; spec strings with
+    overrides return a :class:`~repro.flows.registry.FlowSpec`), then
+    ``module:qualname`` import paths for unregistered callables.
     """
-    from repro.flows import ALL_FLOWS
+    from repro.flows.registry import REGISTRY
 
-    if name in ALL_FLOWS:
-        return ALL_FLOWS[name]
-    if ":" in name:
+    head = name.partition(":")[0]
+    if head in REGISTRY:
+        return REGISTRY.resolve(name)
+    if ":" in name and "=" not in name:
         module_name, _, qualname = name.partition(":")
         obj = importlib.import_module(module_name)
         for part in qualname.split("."):
             obj = getattr(obj, part)
         return obj
     raise KeyError(
-        f"unknown flow {name!r}: not in ALL_FLOWS and not a "
+        f"unknown flow {name!r}: not a registered flow/spec "
+        f"(registered: {REGISTRY.names()}) and not a "
         f"'module:qualname' path"
     )
 
@@ -79,12 +86,20 @@ def flow_name_for(name: str, flow: Callable) -> str:
     """The worker-resolvable name of ``flow``, preferring ``name``.
 
     ``run_contest`` accepts ``{display name: callable}`` dictionaries;
-    workers only ship names, so the callable must be re-importable.
+    workers only ship names, so the callable must be re-resolvable.
+    Registered Flow objects resolve to their registry name, resolved
+    ``FlowSpec`` objects to their spec string, and module-level
+    callables to a ``module:qualname`` path.
     """
-    from repro.flows import ALL_FLOWS
+    from repro.flows.registry import REGISTRY, FlowSpec
 
-    if ALL_FLOWS.get(name) is flow:
+    if name in REGISTRY and REGISTRY.get(name) is flow:
         return name
+    if isinstance(flow, FlowSpec):
+        return flow.spec
+    registered = getattr(flow, "name", None)
+    if registered in REGISTRY and REGISTRY.get(registered) is flow:
+        return registered
     dotted = f"{getattr(flow, '__module__', '?')}:" \
              f"{getattr(flow, '__qualname__', '?')}"
     try:
@@ -93,8 +108,8 @@ def flow_name_for(name: str, flow: Callable) -> str:
     except (ImportError, AttributeError, KeyError):
         pass
     raise ValueError(
-        f"flow {name!r} ({flow!r}) is not importable by name; parallel "
-        f"and stored runs need flows reachable via ALL_FLOWS or a "
+        f"flow {name!r} ({flow!r}) is not resolvable by name; parallel "
+        f"and stored runs need flows reachable via the registry or a "
         f"module-level 'module:qualname' path"
     )
 

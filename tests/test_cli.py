@@ -45,7 +45,49 @@ class TestRun:
         with pytest.raises(SystemExit) as exc:
             _run(["run", "--benchmark", "0", "--flow", "team99"])
         assert exc.value.code == 2
-        assert "invalid choice" in capsys.readouterr().err
+        assert "unknown flow" in capsys.readouterr().err
+
+    def test_run_with_effort_spec_string(self, capsys):
+        _run(["run", "--benchmark", "74", "--flow", "team10:effort=full",
+              "--samples", "32"])
+        out = capsys.readouterr().out
+        assert "benchmark: ex74" in out
+        assert "method:    team10:" in out
+
+    def test_run_portfolio_with_member_subset(self, capsys):
+        _run(["run", "--benchmark", "74",
+              "--flow", "portfolio:flows=team07+team10",
+              "--samples", "32"])
+        out = capsys.readouterr().out
+        assert "method:    portfolio:" in out
+
+    def test_bad_spec_override(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["run", "--benchmark", "0", "--flow",
+                  "team10:bogus=1"])
+        assert exc.value.code == 2
+        assert "override" in capsys.readouterr().err
+
+
+class TestFlowsSubcommand:
+    def test_lists_registry_with_metadata(self, capsys):
+        _run(["flows"])
+        out = capsys.readouterr().out
+        assert "team01" in out and "portfolio" in out
+        assert "stages:" in out
+        assert "techniques:" in out
+        assert "efforts: full, small" in out
+
+    def test_check_resolves_spec(self, capsys):
+        _run(["flows", "--check", "team01:effort=full"])
+        out = capsys.readouterr().out
+        assert "team01" in out and "full" in out
+
+    def test_check_rejects_bad_effort(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _run(["flows", "--check", "team01:effort=huge"])
+        assert exc.value.code == 2
+        assert "no effort" in capsys.readouterr().err
 
 
 class TestContestAndReport:
@@ -95,6 +137,12 @@ class TestContestAndReport:
         with pytest.raises(SystemExit) as exc:
             _run(["contest", "--benchmarks", "0", "--flows", "teamXX"])
         assert exc.value.code == 2
+
+    def test_contest_accepts_portfolio_flow(self, capsys):
+        _run(["contest", "--benchmarks", "74", "--flows",
+              "portfolio:flows=team07+team10", "--samples", "32"])
+        out = capsys.readouterr().out
+        assert "portfolio" in out
 
     def test_report_missing_directory(self, capsys, tmp_path):
         with pytest.raises(SystemExit) as exc:

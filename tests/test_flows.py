@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import ALL_FLOWS, TECHNIQUES, TECHNIQUE_NAMES
+from repro.flows import TEAM_FLOW_NAMES, TECHNIQUES, TECHNIQUE_NAMES, get_flow
 from repro.flows.portfolio import run as portfolio_run
 
 
@@ -20,10 +20,10 @@ def parity_problem():
     return make_problem(suite[74], n_train=250, n_valid=250, n_test=250)
 
 
-@pytest.mark.parametrize("flow_name", sorted(ALL_FLOWS))
+@pytest.mark.parametrize("flow_name", sorted(TEAM_FLOW_NAMES))
 def test_flow_contract(flow_name, comparator_problem):
     """Every flow returns a legal, better-than-chance solution."""
-    solution = ALL_FLOWS[flow_name](comparator_problem, effort="small")
+    solution = get_flow(flow_name).run(comparator_problem, effort="small")
     score = evaluate_solution(comparator_problem, solution)
     assert score.legal, f"{flow_name} exceeded the node cap"
     assert solution.aig.num_outputs == 1
@@ -33,12 +33,12 @@ def test_flow_contract(flow_name, comparator_problem):
     )
 
 
-@pytest.mark.parametrize("flow_name", sorted(ALL_FLOWS))
+@pytest.mark.parametrize("flow_name", sorted(TEAM_FLOW_NAMES))
 def test_flow_deterministic(flow_name, comparator_problem):
-    a = ALL_FLOWS[flow_name](comparator_problem, effort="small",
-                             master_seed=7)
-    b = ALL_FLOWS[flow_name](comparator_problem, effort="small",
-                             master_seed=7)
+    a = get_flow(flow_name).run(comparator_problem, effort="small",
+                                master_seed=7)
+    b = get_flow(flow_name).run(comparator_problem, effort="small",
+                                master_seed=7)
     assert a.aig.num_ands == b.aig.num_ands
     assert np.array_equal(
         a.aig.simulate(comparator_problem.test.X),
@@ -48,13 +48,13 @@ def test_flow_deterministic(flow_name, comparator_problem):
 
 class TestMatchingFlows:
     def test_team01_matches_parity_exactly(self, parity_problem):
-        solution = ALL_FLOWS["team01"](parity_problem, effort="small")
+        solution = get_flow("team01").run(parity_problem, effort="small")
         score = evaluate_solution(parity_problem, solution)
         assert "match" in solution.method
         assert score.test_accuracy == 1.0
 
     def test_team07_matches_parity_exactly(self, parity_problem):
-        solution = ALL_FLOWS["team07"](parity_problem, effort="small")
+        solution = get_flow("team07").run(parity_problem, effort="small")
         score = evaluate_solution(parity_problem, solution)
         assert "match" in solution.method
         assert score.test_accuracy == 1.0
@@ -62,14 +62,14 @@ class TestMatchingFlows:
     def test_team10_fails_parity(self, parity_problem):
         """Plain DTs cannot learn wide parity — the paper's recurring
         negative result."""
-        solution = ALL_FLOWS["team10"](parity_problem, effort="small")
+        solution = get_flow("team10").run(parity_problem, effort="small")
         score = evaluate_solution(parity_problem, solution)
         assert score.test_accuracy < 0.7
 
 
 class TestTechniquesMatrix:
     def test_every_team_listed(self):
-        assert set(TECHNIQUES) == set(ALL_FLOWS)
+        assert set(TECHNIQUES) == set(TEAM_FLOW_NAMES)
 
     def test_technique_names_known(self):
         for team, used in TECHNIQUES.items():
@@ -87,7 +87,7 @@ class TestPortfolio:
         member_scores = [
             evaluate_solution(
                 comparator_problem,
-                ALL_FLOWS[f](comparator_problem, effort="small"),
+                get_flow(f).run(comparator_problem, effort="small"),
             ).valid_accuracy
             for f in flows
         ]

@@ -113,6 +113,73 @@ class TestPickBest:
         assert pick_best([], data) is None
 
 
+def _redundant_aig():
+    """(i1 & i0) | (i1 & ~i0) == i1: 3 AND nodes that ``compress``
+    collapses to 0 but ``balance`` (pure reassociation) keeps."""
+    aig = AIG(4)
+    i0, i1 = aig.input_lit(0), aig.input_lit(1)
+    aig.set_output(aig.add_or(aig.add_and(i1, i0), aig.add_and(i1, i0 ^ 1)))
+    return aig
+
+
+class TestFinalizeOptimizeLimit:
+    """Satellite: the optimize_limit boundary, the over-cap
+    approximation path re-entering compress, and optimize=False."""
+
+    def test_at_limit_runs_compress(self, rng):
+        # num_ands == optimize_limit is inside the compress branch.
+        out = finalize_aig(_redundant_aig(), rng, optimize_limit=3)
+        assert out.num_ands == 0
+        assert out.truth_tables() == _redundant_aig().truth_tables()
+
+    def test_above_limit_balance_only(self, rng):
+        # One over the limit: balance cannot remove the redundancy.
+        out = finalize_aig(_redundant_aig(), rng, optimize_limit=2)
+        assert out.num_ands == 3
+        assert out.truth_tables() == _redundant_aig().truth_tables()
+
+    def test_optimize_false_skips_both_passes(self, rng):
+        out = finalize_aig(_redundant_aig(), rng, optimize=False)
+        assert out.num_ands == 3
+        assert out.truth_tables() == _redundant_aig().truth_tables()
+
+    def _multiplier_aig(self):
+        aig = AIG(12)
+        lits = aig.input_lits()
+        for bit in multiplier(aig, lits[:6], lits[6:]):
+            aig.set_output(bit)
+        return aig.extract_cone()
+
+    def test_over_cap_reenters_compress(self):
+        """The post-approximation result re-enters compress when it
+        fits under optimize_limit; the pipeline is exactly
+        compress -> approximate -> compress."""
+        from repro.aig.approx import approximate_to_size
+        from repro.aig.optimize import compress
+
+        max_nodes = 60
+        got = finalize_aig(
+            self._multiplier_aig(), np.random.default_rng(7),
+            max_nodes=max_nodes, optimize_limit=10**9,
+        )
+        manual = compress(self._multiplier_aig())
+        assert manual.num_ands > max_nodes  # the approx path is taken
+        manual = approximate_to_size(
+            manual, max_ands=max_nodes, rng=np.random.default_rng(7)
+        )
+        manual = compress(manual)
+        assert got.num_ands == manual.num_ands <= max_nodes
+
+    def test_over_cap_without_compress_reentry_still_capped(self):
+        # optimize_limit below the approximated size: the re-entry is
+        # skipped but the cap still holds.
+        got = finalize_aig(
+            self._multiplier_aig(), np.random.default_rng(7),
+            max_nodes=60, optimize_limit=-1,
+        )
+        assert got.num_ands <= 60
+
+
 class TestFinalize:
     def test_respects_cap_via_approximation(self, rng):
         aig = AIG(12)

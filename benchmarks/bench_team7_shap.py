@@ -15,7 +15,7 @@ from repro.aig.aig import AIG
 from repro.aig.build import maj5_tree
 from repro.contest import build_suite, make_problem
 from repro.ml.boosting import GradientBoostedTrees
-from repro.ml.shap import mean_abs_shapley, mean_shapley
+from repro.ml.shap import mean_abs_shapley
 from repro.utils.rng import rng_for
 
 

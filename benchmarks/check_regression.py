@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Gate bench timings against a committed baseline.
+
+Used by the nightly workflow::
+
+    python -m pytest benchmarks/ -q --benchmark-json=bench_results.json
+    python benchmarks/check_regression.py \
+        --results bench_results.json \
+        --baseline benchmarks/BENCH_baseline.json --tolerance 0.20
+
+Raw wall-clock comparisons across machines are meaningless (a cold CI
+runner is not the laptop that recorded the baseline), so the check is
+*speed-normalized*: each benchmark's current/baseline ratio is divided
+by the median ratio across all shared benchmarks.  A uniformly slower
+machine moves every ratio equally and cancels out; a genuine
+regression moves one benchmark against the pack and fails the gate
+when it exceeds ``1 + tolerance``.
+
+``--update`` rewrites the baseline from a results file (run it on a
+quiet machine when a deliberate perf change shifts the floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict
+
+
+def load_means(results_path: Path) -> Dict[str, float]:
+    """``{benchmark fullname: mean seconds}`` from pytest-benchmark JSON."""
+    data = json.loads(results_path.read_text(encoding="utf-8"))
+    means: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["fullname"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def write_baseline(baseline_path: Path, means: Dict[str, float]) -> None:
+    payload = {
+        "comment": (
+            "Mean seconds per pytest-benchmark fixture benchmark. "
+            "Regenerate with benchmarks/check_regression.py --update "
+            "after deliberate perf changes."
+        ),
+        "benchmarks": {name: means[name] for name in sorted(means)},
+    }
+    baseline_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def check(
+    results: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float,
+) -> int:
+    shared = sorted(set(results) & set(baseline))
+    new = sorted(set(results) - set(baseline))
+    gone = sorted(set(baseline) - set(results))
+    if not shared:
+        print("error: no benchmarks shared with the baseline — wrong "
+              "results file, or the baseline needs --update")
+        return 2
+    ratios = {name: results[name] / baseline[name] for name in shared}
+    machine = statistics.median(ratios.values())
+    print(f"{len(shared)} shared benchmark(s); machine-speed factor "
+          f"{machine:.2f}x (median current/baseline ratio)")
+    failures = []
+    for name in shared:
+        normalized = ratios[name] / machine
+        flag = ""
+        if normalized > 1.0 + tolerance:
+            failures.append(name)
+            flag = f"  << regression (> {1 + tolerance:.2f}x)"
+        print(f"  {normalized:6.2f}x  {name}{flag}")
+    for name in new:
+        print(f"    new   {name} ({results[name] * 1e3:.1f} ms, "
+              f"not in baseline — add via --update)")
+    for name in gone:
+        print(f"    gone  {name} (in baseline, absent from results)")
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
+              f"{tolerance:.0%} after machine-speed normalization")
+        return 1
+    if gone:
+        # A baselined bench that vanished is a silently dropped perf
+        # floor (rename, collection failure) — fail loudly; a
+        # deliberate removal goes through --update.
+        print(f"\nFAIL: {len(gone)} baselined benchmark(s) missing from "
+              f"the results — renamed/removed?  Refresh with --update")
+        return 1
+    print(f"\nOK: no normalized regression beyond {tolerance:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", type=Path, required=True,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "BENCH_baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed normalized slowdown (0.20 = 20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from --results")
+    args = parser.parse_args(argv)
+    results = load_means(args.results)
+    if not results:
+        print(f"error: {args.results} holds no benchmark entries")
+        return 2
+    if args.update:
+        write_baseline(args.baseline, results)
+        print(f"wrote {len(results)} baseline entries to {args.baseline}")
+        return 0
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    return check(results, baseline["benchmarks"], args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,6 @@ circuits.  This example reproduces the paper's core observation on the
 Run:  python examples/learn_arithmetic.py
 """
 
-import numpy as np
-
 from repro.bdd import BDD, restrict
 from repro.contest import build_suite, make_problem
 from repro.ml.decision_tree import DecisionTree

@@ -263,7 +263,7 @@ class AIG(GateOps):
         if lits is None:
             lits = self.outputs
         mask = np.zeros(self.num_vars, dtype=bool)
-        stack = [lit_var(l) for l in lits]
+        stack = [lit_var(lit) for lit in lits]
         while stack:
             var = stack.pop()
             if mask[var]:

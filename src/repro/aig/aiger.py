@@ -40,7 +40,16 @@ def write_aag(aig: AIG, path: PathLike) -> None:
 
 def read_aag(path: PathLike) -> AIG:
     """Read an ASCII AIGER (.aag) file (combinational subset)."""
-    text = Path(path).read_text(encoding="ascii")
+    return loads_aag(Path(path).read_text(encoding="ascii"))
+
+
+def loads_aag(text: str) -> AIG:
+    """Parse ASCII AIGER text (the inverse of :func:`dumps_aag`).
+
+    The serving layer loads circuits straight out of a run store's
+    ``solutions/`` files (or any bundle of ``.aag`` text) without
+    round-tripping through a temp file.
+    """
     lines = [ln for ln in text.splitlines() if ln and not ln.startswith("c")]
     header = lines[0].split()
     if header[0] != "aag":

@@ -41,7 +41,7 @@ def simulate_differs(
 
 
 def _output_bdd(aig: AIG, manager, output: int) -> int:
-    from repro.bdd.bdd import FALSE, TRUE
+    from repro.bdd.bdd import FALSE
 
     cache = {0: FALSE}
     values = [manager.var_node(i) for i in range(aig.n_inputs)]

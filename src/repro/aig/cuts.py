@@ -59,7 +59,7 @@ def _expand(table: int, sub: Cut, sup: Cut) -> int:
     """Re-express ``table`` (over leaves ``sub``) over superset ``sup``."""
     if sub == sup:
         return table
-    positions = tuple(sup.index(l) for l in sub)
+    positions = tuple(sup.index(leaf) for leaf in sub)
     return _expand_table(table, positions, len(sup))
 
 

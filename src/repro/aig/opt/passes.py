@@ -84,7 +84,8 @@ def balance(aig: AIG) -> AIG:
             # its root, not once per member.
             continue
         leaves = _gather_and_leaves(aig, var, fanout)
-        heap = [(lv[_map_lit(mapping, l) >> 1], _map_lit(mapping, l)) for l in leaves]
+        heap = [(lv[_map_lit(mapping, leaf) >> 1], _map_lit(mapping, leaf))
+                for leaf in leaves]
         heapq.heapify(heap)
         while len(heap) > 1:
             la, a = heapq.heappop(heap)
@@ -174,7 +175,7 @@ def rewrite(
         for cut, table in node_cuts[var]:
             if len(cut) < 2:
                 continue
-            leaf_lits = [mapping[l] for l in cut]
+            leaf_lits = [mapping[leaf] for leaf in cut]
             if len(cut) <= lib.max_vars:
                 # A candidate only wins with strictly fewer new
                 # nodes, so price it with that budget and abandon it
@@ -199,7 +200,7 @@ def rewrite(
             mapping[var] = new.add_and(ma, mb)
         else:
             cut, table = best
-            leaf_lits = [mapping[l] for l in cut]
+            leaf_lits = [mapping[leaf] for leaf in cut]
             if len(cut) <= lib.max_vars:
                 mapping[var] = lib.instantiate(new, table, leaf_lits)
             else:
@@ -236,7 +237,7 @@ def refactor(aig: AIG, max_leaves: int = 10) -> AIG:
                 mapping[var] = CONST0 if table == 0 else CONST1
                 continue
             old_cone = mffc_size(aig, var, fanout)
-            mapped = [mapping[l] for l in leaves]
+            mapped = [mapping[leaf] for leaf in leaves]
             choice = lut_choice(new, table, mapped, budget=old_cone)
             if choice is not None and choice[0] <= old_cone:
                 lit = sop_over_leaves(new, choice[1], mapped)

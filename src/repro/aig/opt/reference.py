@@ -74,7 +74,7 @@ def reference_rewrite(aig: AIG, k: int = 4, max_cuts: int = 8) -> AIG:
             if kind == "direct":
                 new.add_and(_map_lit(mapping, f0), _map_lit(mapping, f1))
             else:
-                _seed_lut(new, table, [int(mapping[l]) for l in cut])
+                _seed_lut(new, table, [int(mapping[leaf]) for leaf in cut])
             cost = new.num_ands - state[0]
             new.rollback(state)
             if best_cost is None or cost < best_cost:
@@ -86,7 +86,7 @@ def reference_rewrite(aig: AIG, k: int = 4, max_cuts: int = 8) -> AIG:
                 _map_lit(mapping, f0), _map_lit(mapping, f1)
             )
         else:
-            mapping[var] = _seed_lut(new, table, [int(mapping[l]) for l in cut])
+            mapping[var] = _seed_lut(new, table, [int(mapping[leaf]) for leaf in cut])
     for lit in aig.outputs:
         new.set_output(_map_lit(mapping, lit))
     return new.extract_cone()
@@ -113,7 +113,7 @@ def reference_refactor(aig: AIG, max_leaves: int = 10) -> AIG:
         table = cut_function(aig, var, leaves)
         old_cone = mffc_size(aig, var, fanout)
         state = new.checkpoint()
-        cand = _seed_lut(new, table, [int(mapping[l]) for l in leaves])
+        cand = _seed_lut(new, table, [int(mapping[leaf]) for leaf in leaves])
         cost = new.num_ands - state[0]
         if cost <= old_cone:
             mapping[var] = cand

@@ -95,11 +95,11 @@ def ffc_leaves(
     ``max_leaves`` leaves.
     """
     leaves = set()
-    stack = [l >> 1 for l in aig.fanins(var)]
+    stack = [lit >> 1 for lit in aig.fanins(var)]
     while stack:
         v = stack.pop()
         if aig.is_and_var(v) and fanout[v] == 1:
-            stack.extend(l >> 1 for l in aig.fanins(v))
+            stack.extend(lit >> 1 for lit in aig.fanins(v))
         elif not aig.is_const_var(v):
             leaves.add(v)
         if len(leaves) > max_leaves:

@@ -5,6 +5,9 @@
     python -m repro.cli contest --benchmarks 0 30 74 --flows team01 team10 \
         --jobs 4 --out-dir runs/mini --trials 3
     python -m repro.cli report --out-dir runs/mini
+    python -m repro.cli serve --store runs/mini --port 8080
+    python -m repro.cli predict --store runs/mini --model ex74 \
+        --input rows.txt --output preds.txt
     python -m repro.cli flows
     python -m repro.cli list
 
@@ -18,7 +21,11 @@ techniques and effort grids.  ``contest`` fans the task grid out over
 ``--jobs`` worker processes and (with ``--out-dir``) persists every
 completed task, skipping already-stored ones on re-invocation;
 ``report`` rebuilds the tables from such a run directory without
-executing anything.
+executing anything.  ``serve`` loads the best stored solution per
+benchmark (a contest run with ``--keep-solutions``, or any directory
+of ``.aag`` files) and answers batched ``/predict/{model}`` HTTP
+requests; ``predict`` runs the same models offline on a rows file
+(see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -141,6 +148,37 @@ def _cmd_report(parser, args) -> None:
     print(_format_win_rates(run.win_rates()))
 
 
+def _cmd_serve(parser, args) -> None:
+    import asyncio
+
+    from repro.serve import ServeApp, serve_forever
+
+    try:
+        app = ServeApp(
+            args.store, tick_s=args.tick_ms / 1000.0,
+            max_batch=args.max_batch, cache_size=args.cache_size,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+    try:
+        asyncio.run(serve_forever(app, args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nrepro serve: stopped")
+
+
+def _cmd_predict(parser, args) -> None:
+    from repro.serve import predict_file
+
+    try:
+        n_rows = predict_file(
+            args.store, args.model, args.input, args.output,
+            cache_size=args.cache_size,
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+    print(f"wrote {n_rows} prediction(s) to {args.output}")
+
+
 def _default_contest_flows() -> list:
     from repro.flows import TEAM_FLOW_NAMES
 
@@ -204,6 +242,34 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="rebuild tables from a stored run (no execution)")
     report_p.add_argument("--out-dir", required=True,
                           help="run directory written by 'contest'")
+
+    serve_p = sub.add_parser(
+        "serve", help="serve stored solutions over HTTP "
+                      "(microbatched /predict/{model})")
+    serve_p.add_argument("--store", required=True,
+                         help="contest run directory (--keep-solutions) "
+                              "or any directory of .aag files")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8080)
+    serve_p.add_argument("--tick-ms", type=float, default=2.0,
+                         help="microbatch window in milliseconds")
+    serve_p.add_argument("--max-batch", type=int, default=4096,
+                         help="flush a model's queue at this many rows")
+    serve_p.add_argument("--cache-size", type=int, default=32,
+                         help="compiled circuits kept in the LRU")
+
+    predict_p = sub.add_parser(
+        "predict", help="offline batch scoring: rows file in, "
+                        "predictions file out")
+    predict_p.add_argument("--store", required=True,
+                           help="run directory or .aag bundle directory")
+    predict_p.add_argument("--model", required=True,
+                           help="benchmark name (ex74) or suite index")
+    predict_p.add_argument("--input", required=True,
+                           help="rows file: one 0/1 sample per line")
+    predict_p.add_argument("--output", required=True,
+                           help="where to write one 0/1 line per row")
+    predict_p.add_argument("--cache-size", type=int, default=32)
     return parser
 
 
@@ -220,6 +286,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         _cmd_contest(parser, args)
     elif args.command == "report":
         _cmd_report(parser, args)
+    elif args.command == "serve":
+        _cmd_serve(parser, args)
+    elif args.command == "predict":
+        _cmd_predict(parser, args)
 
 
 if __name__ == "__main__":

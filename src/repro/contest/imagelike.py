@@ -17,7 +17,7 @@ noise) so nearby pixels correlate, as in real images.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 from scipy import ndimage

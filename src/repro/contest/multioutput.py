@@ -12,7 +12,7 @@ shared logic once — the whole point of multi-output synthesis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

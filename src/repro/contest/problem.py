@@ -9,7 +9,7 @@ private until the competition was over").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.aig.aig import AIG
 from repro.ml.dataset import Dataset

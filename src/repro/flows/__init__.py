@@ -113,6 +113,16 @@ __all__ = [
     "TECHNIQUE_NAMES",
     "api",
     "flow_names",
+    "team01",
+    "team02",
+    "team03",
+    "team04",
+    "team05",
+    "team06",
+    "team07",
+    "team08",
+    "team09",
+    "team10",
     "get_flow",
     "registry",
     "resolve_spec",

@@ -18,9 +18,9 @@ fails at import, not mid-contest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
-from repro.flows.api import ArtifactCache, Flow, check_flow_contract
+from repro.flows.api import Flow, check_flow_contract
 
 __all__ = [
     "REGISTRY",

@@ -21,7 +21,7 @@ can turn them into MUX-tree AIGs or path covers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

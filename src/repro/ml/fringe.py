@@ -15,7 +15,7 @@ bridge can realize each composite feature as two extra AIG nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 import numpy as np
 

@@ -21,6 +21,7 @@ golden determinism tests pin down.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from pathlib import Path
@@ -48,7 +49,25 @@ def canonical_line(record: Dict[str, object]) -> str:
 
 
 def _solution_filename(key: str) -> str:
-    """Filesystem-safe name for a task's circuit."""
+    """Filesystem-safe, collision-free name for a task's circuit.
+
+    Sanitizing alone is lossy — ``b000:team_a:s0`` and
+    ``b000:team:a:s0`` both collapse to ``b000_team_a_s0`` — so
+    whenever sanitization had to alter the key, a short digest of the
+    *exact* key is appended.  Distinct keys therefore always map to
+    distinct filenames, while keys that are already safe keep their
+    readable name unchanged.
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", key)
+    if safe != key:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+        safe = f"{safe}-{digest}"
+    return safe + ".aag"
+
+
+def _legacy_solution_filename(key: str) -> str:
+    """Pre-digest naming (lossy); still honoured on the read side so
+    run directories written before the digest suffix keep serving."""
     return re.sub(r"[^A-Za-z0-9_.-]", "_", key) + ".aag"
 
 
@@ -172,7 +191,30 @@ class RunStore:
             path.write_text(aag, encoding="ascii")
 
     def solution_path(self, key: str) -> Path:
+        """Canonical (write-side) location of a task's circuit."""
         return self.solutions_dir / _solution_filename(key)
+
+    def has_solution(self, key: str) -> bool:
+        """Whether a circuit was kept for this task (either naming)."""
+        return (
+            self.solution_path(key).exists()
+            or (self.solutions_dir / _legacy_solution_filename(key)).exists()
+        )
+
+    def solution_text(self, key: str) -> Optional[str]:
+        """Stored ``.aag`` text for a task, or ``None`` if not kept.
+
+        Falls back to the legacy pre-digest filename so stores written
+        by earlier versions stay readable (their names were unique in
+        practice; the digest suffix only guards pathological keys).
+        """
+        for path in (
+            self.solution_path(key),
+            self.solutions_dir / _legacy_solution_filename(key),
+        ):
+            if path.exists():
+                return path.read_text(encoding="ascii")
+        return None
 
     # -- reconstruction ----------------------------------------------
 

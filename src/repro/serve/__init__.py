@@ -1,0 +1,50 @@
+"""Compiled-circuit serving: learned AIGs as a prediction service.
+
+The paper's end product is a circuit whose whole value is evaluation
+on new inputs.  This subsystem turns a contest run's winners into a
+served model catalogue:
+
+Load (:mod:`repro.serve.bundle` / :mod:`repro.serve.store`)
+    :class:`ModelStore` scans a runner store (``records.jsonl`` +
+    ``solutions/*.aag``) — or any directory of ``.aag`` files with
+    JSON sidecars — picks the best solution per benchmark from the
+    stored records, and compiles each circuit through the levelized
+    sim engine exactly once.  Compiled plans live in a bounded LRU.
+
+Batch (:mod:`repro.serve.batching`)
+    :class:`MicroBatcher` coalesces concurrent predict requests per
+    model: a ~2 ms tick gathers a burst of single-row requests into
+    one numpy-packed engine pass
+    (:func:`repro.sim.batch.simulate_rows_grouped`), amortizing
+    packing and per-level dispatch across every row in flight.
+    Results are bit-identical to per-request evaluation.
+
+Serve (:mod:`repro.serve.http` / :mod:`repro.serve.predict`)
+    ``repro serve --store DIR --port N`` starts a stdlib-asyncio HTTP
+    front end (``/predict/{model}``, ``/models``, ``/healthz``);
+    ``repro predict`` runs the same computation offline,
+    rows-file-in / predictions-file-out.
+
+``benchmarks/bench_serve.py`` measures the design: coalesced
+throughput vs a single-row request loop, and cold-vs-warm compile
+cost through the LRU.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.bundle import CircuitBundle, CompiledCircuit, ModelInfo
+from repro.serve.http import ServeApp, ServerHandle, serve_forever
+from repro.serve.predict import predict_file, read_rows_file
+from repro.serve.store import ModelStore
+
+__all__ = [
+    "CircuitBundle",
+    "CompiledCircuit",
+    "MicroBatcher",
+    "ModelInfo",
+    "ModelStore",
+    "ServeApp",
+    "ServerHandle",
+    "predict_file",
+    "read_rows_file",
+    "serve_forever",
+]

@@ -1,0 +1,209 @@
+"""Circuit bundles: one servable ``.aag`` circuit plus its metadata.
+
+A :class:`CircuitBundle` is the unit the serving layer loads — the
+AIGER text of a learned circuit together with the record the contest
+runner stored for it (accuracy, size, provenance).  Compiling the
+bundle yields a :class:`CompiledCircuit`: the circuit pushed through
+the levelized simulation engine exactly once, after which every
+predict call is a few whole-array numpy ops (see :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.aig.aig import AIG
+from repro.aig.aiger import loads_aag
+from repro.sim.batch import simulate_rows_grouped
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Serving-relevant metadata of one learned circuit."""
+
+    name: str  # benchmark name, e.g. "ex74" (the serving route)
+    n_inputs: int
+    n_outputs: int
+    num_ands: int
+    levels: int
+    flow: Optional[str] = None
+    seed: Optional[int] = None
+    test_accuracy: Optional[float] = None
+    benchmark: Optional[int] = None  # suite index, when known
+    key: Optional[str] = None  # run-store task key, when from a store
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe dict (what ``/models`` serves)."""
+        return asdict(self)
+
+
+class CompiledCircuit:
+    """A circuit pre-compiled for serving.
+
+    Wraps the AIG's levelized compiled form
+    (:meth:`repro.aig.aig.AIG.compiled`) with shape validation and the
+    grouped-rows entry point the microbatcher uses.  Instances are
+    immutable once built and safe to reuse across requests.
+    """
+
+    def __init__(self, aig: AIG, info: ModelInfo):
+        self.aig = aig
+        self.info = info
+        self.compiled = aig.compiled()
+
+    @property
+    def n_inputs(self) -> int:
+        return self.aig.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.aig.num_outputs
+
+    def validate_rows(self, rows: np.ndarray) -> np.ndarray:
+        raw = np.asarray(rows)
+        # The uint8 cast would silently truncate 0.9 to 0; fractional
+        # (or NaN/inf) input is a caller bug, not a prediction.
+        if raw.dtype.kind == "f" and not np.all(np.equal(np.mod(raw, 1), 0)):
+            raise ValueError(
+                f"model {self.info.name!r} takes 0/1 rows, got "
+                f"fractional values"
+            )
+        try:
+            mat = raw.astype(np.uint8)
+        except (OverflowError, ValueError, TypeError):
+            raise ValueError(
+                f"model {self.info.name!r} takes 0/1 rows"
+            ) from None
+        if mat.ndim == 1:
+            mat = mat[None, :]
+        if mat.ndim != 2 or mat.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"model {self.info.name!r} takes rows of "
+                f"{self.n_inputs} bits, got shape {tuple(mat.shape)}"
+            )
+        # Strictly 0/1: the packed representation encodes bit s at
+        # position s, so a stray 2 (or a negative wrapped to 255)
+        # would carry into a *neighbouring sample's* bit once rows are
+        # coalesced into one batch — garbage in one request must never
+        # touch another's output.
+        if mat.size and mat.max() > 1:
+            raise ValueError(
+                f"model {self.info.name!r} takes 0/1 rows, got value "
+                f"{int(mat.max())}"
+            )
+        return mat
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Evaluate ``(n_rows, n_inputs)`` 0/1 rows.
+
+        Returns ``(n_rows, n_outputs)`` uint8 — bit-identical to
+        ``AIG.simulate`` on the same rows (they share the engine).
+        """
+        return self.compiled.run(self.validate_rows(rows))
+
+    def predict_grouped(
+        self, row_blocks: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Evaluate many row blocks in one engine pass (coalescing)."""
+        blocks = [self.validate_rows(b) for b in row_blocks]
+        return simulate_rows_grouped(self.compiled, blocks)
+
+
+class CircuitBundle:
+    """AIGER text + metadata, compiled lazily and at most once."""
+
+    def __init__(self, aag_text: str, metadata: Optional[Dict[str, Any]] = None):
+        self.aag_text = aag_text
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._compiled: Optional[CompiledCircuit] = None
+        self._info: Optional[ModelInfo] = None
+
+    @classmethod
+    def from_files(
+        cls, aag_path: PathLike, meta_path: Optional[PathLike] = None
+    ) -> "CircuitBundle":
+        """Load from an ``.aag`` file plus an optional JSON sidecar.
+
+        With no explicit ``meta_path``, a sibling ``<stem>.json`` is
+        used when present; a bare ``.aag`` file serves fine without
+        one (the name defaults to the file stem).
+        """
+        aag_path = Path(aag_path)
+        metadata: Dict[str, Any] = {}
+        if meta_path is None:
+            sidecar = aag_path.with_suffix(".json")
+            if sidecar.exists():
+                meta_path = sidecar
+        if meta_path is not None:
+            metadata = json.loads(Path(meta_path).read_text(encoding="utf-8"))
+        metadata.setdefault("benchmark_name", aag_path.stem)
+        return cls(aag_path.read_text(encoding="ascii"), metadata)
+
+    def _build_info(
+        self, n_inputs: int, n_outputs: int, num_ands: int, levels: int
+    ) -> ModelInfo:
+        meta = self.metadata
+        benchmark = meta.get("benchmark")
+        return ModelInfo(
+            name=str(meta.get("benchmark_name") or meta.get("name") or "circuit"),
+            n_inputs=n_inputs,
+            n_outputs=n_outputs,
+            num_ands=int(meta.get("num_ands", num_ands)),
+            levels=int(meta.get("levels", levels)),
+            flow=meta.get("flow"),
+            seed=meta.get("seed"),
+            test_accuracy=meta.get("test_accuracy"),
+            benchmark=int(benchmark) if benchmark is not None else None,
+            key=meta.get("key"),
+        )
+
+    def info_for(self, aig: AIG) -> ModelInfo:
+        """Build the :class:`ModelInfo` for this bundle's circuit."""
+        return self._build_info(
+            aig.n_inputs, aig.num_outputs, aig.count_used_ands(), aig.depth()
+        )
+
+    def header_counts(self) -> "tuple[int, int, int]":
+        """``(n_inputs, n_outputs, n_ands)`` straight off the header."""
+        fields = self.aag_text.split("\n", 1)[0].split()
+        return int(fields[2]), int(fields[4]), int(fields[5])
+
+    def info(self) -> ModelInfo:
+        """Catalogue metadata *without* keeping a compiled plan.
+
+        Run-store records carry accuracy/size/levels and the ``.aag``
+        header carries the interface, so listing a large store stays
+        O(1) per model.  Only a bare bundle with no structural
+        metadata pays one compile (for ``levels``) — and then only
+        the small :class:`ModelInfo` is retained: compiled *plans*
+        are owned exclusively by the model store's LRU, so listing a
+        10k-circuit directory cannot pin 10k plans in memory.
+        """
+        if self._compiled is not None:
+            return self._compiled.info
+        if self._info is None:
+            if "num_ands" in self.metadata and "levels" in self.metadata:
+                n_inputs, n_outputs, n_ands = self.header_counts()
+                self._info = self._build_info(n_inputs, n_outputs, n_ands, 0)
+            else:
+                self._info = self.compile().info
+                self._compiled = None  # keep the info, release the plan
+        return self._info
+
+    def compile(self) -> CompiledCircuit:
+        """Parse + levelize-compile the circuit (cached afterwards)."""
+        if self._compiled is None:
+            aig = loads_aag(self.aag_text)
+            self._compiled = CompiledCircuit(aig, self.info_for(aig))
+        return self._compiled
+
+    def drop_compiled(self) -> None:
+        """Release the compiled form (LRU eviction hook)."""
+        self._compiled = None

@@ -1,0 +1,328 @@
+"""Stdlib-asyncio HTTP front end for the serving layer.
+
+A deliberately small HTTP/1.1 server (no third-party dependencies —
+``asyncio.start_server`` plus hand-rolled request parsing) exposing:
+
+``GET /healthz``
+    Liveness + uptime + batching/cache statistics.
+``GET /models``
+    The catalogue: one metadata object per servable model.
+``POST /predict/{model}``
+    Body ``{"rows": [[0,1,...], ...]}`` (or ``{"row": [0,1,...]}``
+    for a single sample); responds ``{"model": ..., "rows": n,
+    "outputs": [[...], ...]}``.  Outputs are bit-identical to
+    ``AIG.simulate`` on the same rows — the handler only queues rows
+    into the shared :class:`~repro.serve.batching.MicroBatcher`, which
+    coalesces concurrent requests into one engine pass per model per
+    tick.
+
+Connections are keep-alive (HTTP/1.1 semantics), so request loops
+from one client don't pay a TCP handshake per row.  Bodies are capped
+at ``MAX_BODY_BYTES``; malformed requests get JSON error objects with
+conventional status codes (400/404/405/413).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.store import ModelStore
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024  # total per request, all header lines
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A handler error carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServeApp:
+    """Routes requests over one :class:`ModelStore` + microbatcher."""
+
+    def __init__(
+        self,
+        store: Union[ModelStore, str],
+        tick_s: float = 0.002,
+        max_batch: int = 4096,
+        cache_size: int = 32,
+    ):
+        if not isinstance(store, ModelStore):
+            store = ModelStore(store, cache_size=cache_size)
+        self.store = store
+        self.batcher = MicroBatcher(store, tick_s=tick_s, max_batch=max_batch)
+        self.started = time.monotonic()
+        self.requests_handled = 0
+
+    # -- endpoint bodies (JSON-object in, JSON-object out) -----------
+
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "store": self.store.stats(),
+            "batching": self.batcher.stats(),
+        }
+
+    def models(self) -> Dict[str, Any]:
+        cached = set(self.store.cached_names())
+        infos = []
+        for info in self.store.infos():
+            payload = info.to_json()
+            payload["compiled"] = info.name in cached
+            infos.append(payload)
+        return {"models": infos}
+
+    async def predict(self, model: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            name = self.store.resolve(model)
+        except KeyError as exc:
+            raise HttpError(404, str(exc.args[0])) from None
+        if "rows" in body:
+            rows = body["rows"]
+        elif "row" in body:
+            rows = [body["row"]]
+        else:
+            raise HttpError(400, 'body must carry "rows" or "row"')
+        try:
+            # Conversion + strict 0/1 validation both live in
+            # CompiledCircuit.validate_rows (via the batcher), so the
+            # raw JSON value goes straight through.
+            outputs = await self.batcher.predict(name, rows)
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise HttpError(400, f"rows are not a 0/1 matrix: {exc}") from None
+        return {
+            "model": name,
+            "rows": int(outputs.shape[0]),
+            "outputs": outputs.tolist(),
+        }
+
+    # -- request plumbing --------------------------------------------
+
+    async def dispatch(
+        self, method: str, path: str, body_bytes: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "use GET /healthz")
+            return 200, self.healthz()
+        if path == "/models":
+            if method != "GET":
+                raise HttpError(405, "use GET /models")
+            return 200, self.models()
+        if path.startswith("/predict/"):
+            if method != "POST":
+                raise HttpError(405, "use POST /predict/{model}")
+            model = path[len("/predict/") :]
+            try:
+                body = json.loads(body_bytes.decode("utf-8")) if body_bytes else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HttpError(400, f"body is not valid JSON: {exc}") from None
+            if not isinstance(body, dict):
+                raise HttpError(400, "body must be a JSON object")
+            return 200, await self.predict(model, body)
+        raise HttpError(404, f"no route for {method} {path}")
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except HttpError as exc:
+                    writer.write(
+                        _encode_response(exc.status, {"error": exc.message}, False)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body_bytes = request
+                try:
+                    status, payload = await self.dispatch(method, path, body_bytes)
+                except HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except Exception as exc:  # pragma: no cover - safety net
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                self.requests_handled += 1
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                writer.write(_encode_response(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown with the connection parked in readline
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # peer gone or server shutting the loop down
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.x request; ``None`` on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, ValueError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line[:80]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            raw = await reader.readline()
+        except ValueError:  # StreamReader limit (64 KiB) exceeded
+            raise HttpError(400, "header line too long") from None
+        if not raw or raw in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "request headers too large")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        # No chunked decoding here; without this, the unread chunk
+        # stream would desync the next keep-alive request.  The 400
+        # path closes the connection, so no stray bytes are reparsed.
+        raise HttpError(400, "Transfer-Encoding is not supported; "
+                             "send Content-Length")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length") from None
+    if length < 0:
+        raise HttpError(400, "malformed Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+def _encode_response(status: int, payload: Dict[str, Any], keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def start_async_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the app; ``port=0`` picks a free port (see sockets)."""
+    return await asyncio.start_server(app.handle_connection, host=host, port=port)
+
+
+async def serve_forever(app: ServeApp, host: str, port: int) -> None:
+    server = await start_async_server(app, host, port)
+    addr = server.sockets[0].getsockname()
+    print(
+        f"repro serve: {len(app.store.names())} model(s) on "
+        f"http://{addr[0]}:{addr[1]}  (tick {app.batcher.tick_s * 1e3:g} ms, "
+        f"max batch {app.batcher.max_batch})"
+    )
+    async with server:
+        await server.serve_forever()
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benches, demo).
+
+    Use as a context manager::
+
+        with ServerHandle(ServeApp("runs/demo")) as handle:
+            conn = http.client.HTTPConnection(handle.host, handle.port)
+            ...
+    """
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1"):
+        self.app = app
+        self.host = host
+        self.port = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "ServerHandle":
+        ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            server = loop.run_until_complete(
+                start_async_server(self.app, host=self.host, port=0)
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+                # Open keep-alive connections are parked in readline;
+                # cancel them so the loop closes without warnings.
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=30):  # pragma: no cover
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None:
+            loop = self._loop
+
+            async def _graceful_stop() -> None:
+                # Answer anything still queued in the microbatcher and
+                # give the awakened handlers a beat to write their
+                # responses before the loop stops — requests parked
+                # mid-tick must not be abandoned.
+                self.app.batcher.flush_all()
+                await asyncio.sleep(0.05)
+                loop.stop()
+
+            asyncio.run_coroutine_threadsafe(_graceful_stop(), loop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)

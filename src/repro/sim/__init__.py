@@ -37,7 +37,10 @@ Batch (:mod:`repro.sim.batch`)
     dataset* (:func:`simulate_circuits` /
     :func:`output_predictions` pack the dataset once and evaluate every
     compiled candidate against the shared packed words — e.g.
-    ``pick_best`` over a candidate portfolio).
+    ``pick_best`` over a candidate portfolio).  A third pattern, *one
+    compiled circuit, many tiny row blocks*
+    (:func:`simulate_rows_grouped`), is the coalescing primitive the
+    serving layer (:mod:`repro.serve`) builds its microbatcher on.
 
 `AIG.simulate`, `AIG.simulate_packed`, `AIG.simulate_packed_all` and
 `AIG.truth_tables` all delegate here; existing callers keep their
@@ -48,6 +51,7 @@ from repro.sim.batch import (
     output_predictions,
     simulate_circuits,
     simulate_datasets,
+    simulate_rows_grouped,
 )
 from repro.sim.engine import (
     CompiledAIG,
@@ -61,5 +65,6 @@ __all__ = [
     "reference_simulate_packed_all",
     "simulate_datasets",
     "simulate_circuits",
+    "simulate_rows_grouped",
     "output_predictions",
 ]

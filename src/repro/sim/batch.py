@@ -39,6 +39,38 @@ def simulate_datasets(
     return out
 
 
+def simulate_rows_grouped(
+    compiled, row_blocks: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    """One compiled circuit, many small row blocks, one engine pass.
+
+    This is the microbatching primitive behind :mod:`repro.serve`: the
+    blocks (each ``(k_i, n_inputs)`` 0/1, or a single ``(n_inputs,)``
+    row) are stacked, bit-packed *once* and pushed through
+    :meth:`~repro.sim.engine.CompiledAIG.run` as a single batch, then
+    split back so every caller gets exactly its own
+    ``(k_i, n_outputs)`` uint8 slice.  Coalescing N single-row
+    requests this way replaces N engine invocations (and N packing
+    passes) with one.
+    """
+    blocks = []
+    for block in row_blocks:
+        mat = np.asarray(block, dtype=np.uint8)
+        if mat.ndim == 1:
+            mat = mat[None, :]
+        blocks.append(mat)
+    if not blocks:
+        return []
+    stacked = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+    merged = compiled.run(stacked)
+    out: List[np.ndarray] = []
+    offset = 0
+    for mat in blocks:
+        out.append(merged[offset : offset + mat.shape[0]])
+        offset += mat.shape[0]
+    return out
+
+
 def simulate_circuits(
     aigs: Sequence, samples: np.ndarray
 ) -> List[np.ndarray]:

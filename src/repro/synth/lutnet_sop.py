@@ -12,7 +12,7 @@ loudly instead of exploding.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.aig.isop import full_mask, isop
 from repro.ml.lutnet import LUTNetwork

@@ -7,8 +7,7 @@ which bounds how far the heuristic is from optimal.
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Sequence
 
 from repro.twolevel.cover import Cover
 from repro.twolevel.cube import Cube

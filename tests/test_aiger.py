@@ -1,6 +1,5 @@
 """AIGER file format round-trip tests."""
 
-import numpy as np
 import pytest
 
 from repro.aig.aig import AIG, lit_not

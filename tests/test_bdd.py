@@ -1,7 +1,6 @@
 """ROBDD manager and don't-care minimization."""
 
 import numpy as np
-import pytest
 
 from repro.bdd import BDD, minimize_dontcare, restrict
 from repro.bdd.bdd import FALSE, TRUE

@@ -1,16 +1,13 @@
 """Cartesian genetic programming."""
 
 import numpy as np
-import pytest
 
 from repro.cgp import (
-    AIG_FUNCTIONS,
     CGPEvolver,
     CGPGenome,
     XAIG_FUNCTIONS,
     evolve_from_aig,
 )
-from repro.ml.metrics import accuracy
 from tests.conftest import random_aig
 
 

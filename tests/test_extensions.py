@@ -4,7 +4,7 @@ suite export and the CLI."""
 import numpy as np
 import pytest
 
-from repro.contest import build_suite, make_problem
+from repro.contest import build_suite
 from repro.contest.export import export_benchmarks
 from repro.contest.multioutput import (
     adder_all_bits,

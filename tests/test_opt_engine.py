@@ -213,8 +213,6 @@ class TestTraverse:
             cut_truth(aig, aig.num_vars - 1, ())
 
     def test_mffc_matches_reference_recursive(self):
-        import sys
-
         def recursive_mffc(aig, var, fanout):
             counted = set()
 
@@ -231,7 +229,6 @@ class TestTraverse:
             walk(var, True)
             return len(counted)
 
-        del sys
         for seed in range(6):
             aig = random_aig(6, 80, seed=seed)
             fanout = aig.fanout_counts()

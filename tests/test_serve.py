@@ -1,0 +1,572 @@
+"""The serving layer: ModelStore, microbatching, HTTP, offline predict.
+
+The acceptance property pinned here: everything `repro serve` answers
+on ``/predict/{model}`` is *bit-identical* to ``AIG.simulate`` run
+directly on the stored solution — loading, compiling, coalescing and
+HTTP transport must never change a single output bit.
+"""
+
+import asyncio
+import http.client
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.aig.aig import AIG
+from repro.aig.aiger import dumps_aag, loads_aag, read_aag
+from repro.runner import contest_tasks, run_contest_tasks
+from repro.runner.store import RunStore, _solution_filename
+from repro.serve import (
+    CircuitBundle,
+    MicroBatcher,
+    ModelStore,
+    ServeApp,
+    ServerHandle,
+)
+from repro.serve.predict import format_outputs, predict_file, read_rows_file
+from repro.sim.batch import simulate_rows_grouped
+
+BENCHMARKS = [30, 74]
+FLOWS = ["team01", "team10"]
+SAMPLES = 48
+
+
+@pytest.fixture(scope="session")
+def run_store_dir(tmp_path_factory):
+    """A real contest run with stored solutions (built once)."""
+    out_dir = tmp_path_factory.mktemp("serve") / "run"
+    specs = contest_tasks(BENCHMARKS, FLOWS, SAMPLES, SAMPLES, SAMPLES)
+    run_contest_tasks(specs, jobs=1, out_dir=out_dir, keep_solutions=True)
+    return out_dir
+
+
+@pytest.fixture()
+def model_store(run_store_dir):
+    return ModelStore(run_store_dir, cache_size=8)
+
+
+def _random_rows(n_rows, n_inputs, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(n_rows, n_inputs)).astype(np.uint8)
+
+
+def _stored_winner_aig(run_store_dir, model_store, name) -> AIG:
+    """The winning stored .aag, read back through the run store."""
+    key = model_store.info(name).key
+    return read_aag(RunStore(run_store_dir).solution_path(key))
+
+
+# ---------------------------------------------------------------------------
+# ModelStore
+# ---------------------------------------------------------------------------
+
+
+def test_model_store_catalogue(model_store):
+    assert model_store.names() == ["ex30", "ex74"]
+    assert model_store.resolve("74") == "ex74"
+    assert "ex30" in model_store and "30" in model_store
+    assert "ex99" not in model_store
+    info = model_store.info("ex74")
+    assert info.benchmark == 74
+    assert info.flow in FLOWS
+    assert info.n_inputs == 16
+    with pytest.raises(KeyError):
+        model_store.resolve("ex99")
+
+
+def test_model_store_picks_best_record(tmp_path):
+    """Selection: legal first, then accuracy, then size, then levels."""
+    store = RunStore(tmp_path)
+    aig = AIG(2)
+    aig.set_output(aig.add_and(2, 4))
+    aag = dumps_aag(aig)
+    rows = [
+        # (key, legal, acc, ands): the acc=0.9 legal record must win
+        ("b000:flowA:s0", True, 0.8, 5),
+        ("b000:flowB:s0", True, 0.9, 9),
+        ("b000:flowC:s0", False, 0.99, 9000),  # illegal never beats legal
+        ("b000:flowD:s0", True, 0.9, 12),  # same acc, larger -> loses
+    ]
+    for key, legal, acc, ands in rows:
+        store.append(
+            {
+                "schema": 1,
+                "key": key,
+                "benchmark": 0,
+                "benchmark_name": "ex00",
+                "flow": key.split(":")[1],
+                "seed": 0,
+                "legal": legal,
+                "test_accuracy": acc,
+                "num_ands": ands,
+                "levels": 3,
+            },
+            aag=aag,
+        )
+    ms = ModelStore(tmp_path)
+    assert ms.names() == ["ex00"]
+    assert ms.info("ex00").flow == "flowB"
+
+
+def test_model_store_requires_solutions(tmp_path):
+    store = RunStore(tmp_path)
+    store.append({"schema": 1, "key": "b000:f:s0", "benchmark_name": "ex00"})
+    with pytest.raises(FileNotFoundError):
+        ModelStore(tmp_path)  # records but no kept circuits
+    with pytest.raises(FileNotFoundError):
+        ModelStore(tmp_path / "missing")
+
+
+def test_model_store_bundle_directory(tmp_path, model_store, run_store_dir):
+    """Any directory of .aag files (+ JSON sidecars) is servable."""
+    aig = _stored_winner_aig(run_store_dir, model_store, "ex74")
+    (tmp_path / "parity16.aag").write_text(dumps_aag(aig), encoding="ascii")
+    (tmp_path / "parity16.json").write_text(
+        json.dumps({"flow": "handmade", "test_accuracy": 0.75})
+    )
+    aig2 = AIG(3)
+    aig2.set_output(aig2.add_and(2, 4))
+    (tmp_path / "bare.aag").write_text(dumps_aag(aig2), encoding="ascii")
+
+    ms = ModelStore(tmp_path)
+    assert ms.names() == ["bare", "parity16"]
+    assert ms.info("parity16").flow == "handmade"
+    assert ms.info("bare").n_inputs == 3  # no sidecar needed
+    rows = _random_rows(9, 16)
+    assert np.array_equal(ms.load("parity16").predict(rows), aig.simulate(rows))
+
+
+def test_model_store_lru(run_store_dir):
+    ms = ModelStore(run_store_dir, cache_size=1)
+    ms.load("ex30")
+    assert ms.stats()["misses"] == 1
+    ms.load("ex30")
+    assert ms.stats()["hits"] == 1
+    ms.load("ex74")  # evicts ex30
+    stats = ms.stats()
+    assert stats["evictions"] == 1 and stats["compiled"] == 1
+    assert ms.cached_names() == ["ex74"]
+    ms.load("ex30")  # recompiles
+    assert ms.stats()["misses"] == 3
+    with pytest.raises(ValueError):
+        ModelStore(run_store_dir, cache_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity (the golden serving property)
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_circuit_bit_identical_to_simulate(
+    model_store, run_store_dir
+):
+    for name in model_store.names():
+        circuit = model_store.load(name)
+        aig = _stored_winner_aig(run_store_dir, model_store, name)
+        rows = _random_rows(133, circuit.n_inputs, seed=7)
+        assert np.array_equal(circuit.predict(rows), aig.simulate(rows))
+        single = circuit.predict(rows[3])  # 1-d row convenience
+        assert np.array_equal(single, aig.simulate(rows[3 : 4]))
+
+
+def test_predict_validates_width(model_store):
+    circuit = model_store.load("ex74")
+    with pytest.raises(ValueError):
+        circuit.predict(np.zeros((4, 3), dtype=np.uint8))
+
+
+def test_predict_rejects_non_binary_values(model_store):
+    """A 2 in one request's row must never leak into a neighbour's
+    packed bits — non-0/1 input is rejected, not silently packed."""
+    circuit = model_store.load("ex74")
+    bad = np.zeros((1, 16), dtype=np.uint8)
+    bad[0, 0] = 2
+    with pytest.raises(ValueError):
+        circuit.predict(bad)
+    with pytest.raises(ValueError):
+        circuit.predict_grouped([bad])
+    # Fractional values must be rejected, not truncated to 0.
+    frac = np.zeros((1, 16))
+    frac[0, 0] = 0.9
+    with pytest.raises(ValueError):
+        circuit.predict(frac)
+    # ...but integral floats and negative ints fail cleanly too.
+    assert np.array_equal(
+        circuit.predict(np.ones((1, 16))),
+        circuit.predict(np.ones((1, 16), dtype=np.uint8)),
+    )
+    with pytest.raises(ValueError):
+        circuit.predict([[-1] * 16])
+
+
+def test_model_store_info_does_not_compile(run_store_dir):
+    """The catalogue path must not thrash the compiled-plan LRU."""
+    ms = ModelStore(run_store_dir, cache_size=1)
+    infos = ms.infos()
+    assert [i.name for i in infos] == ["ex30", "ex74"]
+    assert all(i.num_ands > 0 for i in infos)
+    stats = ms.stats()
+    assert stats["misses"] == 0 and stats["compiled"] == 0
+
+
+def test_simulate_rows_grouped_matches_per_block(model_store):
+    circuit = model_store.load("ex74")
+    blocks = [
+        _random_rows(k, circuit.n_inputs, seed=k) for k in (1, 1, 5, 2)
+    ]
+    grouped = simulate_rows_grouped(circuit.compiled, blocks)
+    assert len(grouped) == len(blocks)
+    for block, out in zip(blocks, grouped):
+        assert np.array_equal(out, circuit.predict(block))
+    assert simulate_rows_grouped(circuit.compiled, []) == []
+    one = simulate_rows_grouped(circuit.compiled, [blocks[2][0]])  # 1-d
+    assert np.array_equal(one[0], circuit.predict(blocks[2][:1]))
+
+
+def test_loads_aag_round_trip(model_store, run_store_dir):
+    aig = _stored_winner_aig(run_store_dir, model_store, "ex30")
+    again = loads_aag(dumps_aag(aig))
+    assert dumps_aag(again) == dumps_aag(aig)
+
+
+# ---------------------------------------------------------------------------
+# Microbatching
+# ---------------------------------------------------------------------------
+
+
+def test_microbatcher_coalesces_concurrent_singles(model_store):
+    circuit = model_store.load("ex74")
+    rows = _random_rows(8, circuit.n_inputs, seed=3)
+    expected = circuit.predict(rows)
+
+    async def drive():
+        batcher = MicroBatcher(model_store, tick_s=0.05)
+        outs = await asyncio.gather(
+            *(batcher.predict("ex74", rows[i]) for i in range(len(rows)))
+        )
+        return batcher, outs
+
+    batcher, outs = asyncio.run(drive())
+    for i, out in enumerate(outs):
+        assert np.array_equal(out[0], expected[i])
+    # All 8 requests arrived within one tick: exactly one engine pass.
+    assert batcher.batches == 1
+    assert batcher.max_coalesced == 8
+    assert batcher.rows_served == 8
+
+
+def test_microbatcher_max_batch_flushes_early(model_store):
+    circuit = model_store.load("ex74")
+    rows = _random_rows(8, circuit.n_inputs, seed=4)
+    expected = circuit.predict(rows)
+
+    async def drive():
+        batcher = MicroBatcher(model_store, tick_s=5.0, max_batch=4)
+        outs = await asyncio.gather(
+            *(batcher.predict("ex74", rows[i]) for i in range(len(rows)))
+        )
+        return batcher, outs
+
+    batcher, outs = asyncio.run(drive())
+    for i, out in enumerate(outs):
+        assert np.array_equal(out[0], expected[i])
+    # tick_s is far beyond the test budget, so only the max_batch
+    # trigger can have flushed -- twice, at 4 rows each.
+    assert batcher.batches == 2
+    assert batcher.max_coalesced == 4
+
+
+def test_microbatcher_rejects_bad_rows_before_enqueue(model_store):
+    async def drive():
+        batcher = MicroBatcher(model_store, tick_s=0.01)
+        with pytest.raises(ValueError):
+            await batcher.predict("ex74", np.zeros((1, 2), dtype=np.uint8))
+        with pytest.raises(KeyError):
+            await batcher.predict("nope", np.zeros((1, 16), dtype=np.uint8))
+        assert batcher.requests == 0  # nothing was queued
+
+    asyncio.run(drive())
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def served(model_store):
+    app = ServeApp(model_store, tick_s=0.002)
+    with ServerHandle(app) as handle:
+        yield handle
+
+
+def _request(handle, method, path, body=None):
+    conn = http.client.HTTPConnection(handle.host, handle.port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def test_http_predict_golden(served, model_store, run_store_dir):
+    """ /predict output == AIG.simulate, bit for bit, via real HTTP."""
+    for name in model_store.names():
+        aig = _stored_winner_aig(run_store_dir, model_store, name)
+        rows = _random_rows(57, aig.n_inputs, seed=11)
+        status, body = _request(
+            served, "POST", f"/predict/{name}",
+            json.dumps({"rows": rows.tolist()}),
+        )
+        assert status == 200
+        assert body["model"] == name and body["rows"] == 57
+        got = np.asarray(body["outputs"], dtype=np.uint8)
+        assert np.array_equal(got, aig.simulate(rows))
+
+
+def test_http_single_row_and_index_route(served, model_store, run_store_dir):
+    aig = _stored_winner_aig(run_store_dir, model_store, "ex74")
+    row = _random_rows(1, 16, seed=2)[0]
+    status, body = _request(
+        served, "POST", "/predict/74", json.dumps({"row": row.tolist()})
+    )
+    assert status == 200 and body["model"] == "ex74"
+    assert np.array_equal(
+        np.asarray(body["outputs"], dtype=np.uint8), aig.simulate(row)
+    )
+
+
+def test_http_concurrent_singles_are_coalesced_and_exact(
+    served, model_store, run_store_dir
+):
+    aig = _stored_winner_aig(run_store_dir, model_store, "ex74")
+    rows = _random_rows(24, 16, seed=9)
+    expected = aig.simulate(rows)
+
+    def one(i):
+        return i, _request(
+            served, "POST", "/predict/ex74",
+            json.dumps({"row": rows[i].tolist()}),
+        )
+
+    with ThreadPoolExecutor(max_workers=12) as pool:
+        for i, (status, body) in pool.map(one, range(len(rows))):
+            assert status == 200
+            assert np.array_equal(
+                np.asarray(body["outputs"], dtype=np.uint8)[0], expected[i]
+            )
+
+    status, health = _request(served, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+    assert health["batching"]["rows_served"] >= len(rows)
+    assert health["batching"]["batches"] <= health["batching"]["requests"]
+
+
+def test_http_models_and_health(served, model_store):
+    status, body = _request(served, "GET", "/models")
+    assert status == 200
+    names = [m["name"] for m in body["models"]]
+    assert names == model_store.names()
+    for model in body["models"]:
+        assert {"n_inputs", "n_outputs", "num_ands", "compiled"} <= set(model)
+    status, health = _request(served, "GET", "/healthz")
+    assert status == 200
+    assert health["store"]["models"] == len(names)
+
+
+def test_http_error_paths(served):
+    assert _request(served, "POST", "/predict/nope", "{}")[0] == 404
+    assert _request(served, "GET", "/nothing")[0] == 404
+    assert _request(served, "GET", "/predict/ex74")[0] == 405
+    assert _request(served, "POST", "/predict/ex74", "not json")[0] == 400
+    assert _request(served, "POST", "/predict/ex74", "[1,2]")[0] == 400
+    assert _request(served, "POST", "/predict/ex74", "{}")[0] == 400
+    status, body = _request(
+        served, "POST", "/predict/ex74", json.dumps({"rows": [[0, 1]]})
+    )
+    assert status == 400 and "16 bits" in body["error"]
+
+
+def test_http_rejects_non_binary_rows(served):
+    status, body = _request(
+        served, "POST", "/predict/ex74", json.dumps({"rows": [[2] * 16]})
+    )
+    assert status == 400 and "0/1" in body["error"]
+    # Negative values are a 400 too (numpy raises OverflowError on
+    # uint8 conversion; that must not surface as a 500).
+    status, body = _request(
+        served, "POST", "/predict/ex74", json.dumps({"row": [-1] * 16})
+    )
+    assert status == 400
+    # Fractional JSON floats are rejected, never truncated to 0.
+    status, body = _request(
+        served, "POST", "/predict/ex74", json.dumps({"row": [0.9] * 16})
+    )
+    assert status == 400 and "fractional" in body["error"]
+
+
+def test_http_malformed_content_length_gets_400(served):
+    import socket
+
+    with socket.create_connection((served.host, served.port), timeout=30) as s:
+        s.sendall(
+            b"POST /predict/ex74 HTTP/1.1\r\n"
+            b"Content-Length: abc\r\n\r\n"
+        )
+        response = s.recv(65536).decode("latin-1")
+    assert response.startswith("HTTP/1.1 400")
+    assert "Content-Length" in response
+
+
+def test_http_keep_alive_reuses_connection(served):
+    conn = http.client.HTTPConnection(served.host, served.port, timeout=30)
+    try:
+        for _ in range(3):
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Offline predict + CLI
+# ---------------------------------------------------------------------------
+
+
+def test_read_rows_file_formats(tmp_path):
+    path = tmp_path / "rows.txt"
+    path.write_text("# comment\n0101\n1 1 0 0\n0,0,1,1\n\n")
+    rows = read_rows_file(path)
+    assert rows.tolist() == [[0, 1, 0, 1], [1, 1, 0, 0], [0, 0, 1, 1]]
+    path.write_text("01\n011\n")
+    with pytest.raises(ValueError):
+        read_rows_file(path)
+    path.write_text("01x1\n")
+    with pytest.raises(ValueError):
+        read_rows_file(path)
+    path.write_text("# only comments\n")
+    with pytest.raises(ValueError):
+        read_rows_file(path)
+
+
+def test_predict_file_golden(tmp_path, run_store_dir, model_store):
+    aig = _stored_winner_aig(run_store_dir, model_store, "ex74")
+    rows = _random_rows(21, 16, seed=5)
+    in_path = tmp_path / "rows.txt"
+    out_path = tmp_path / "preds.txt"
+    in_path.write_text(
+        "\n".join("".join(str(b) for b in r) for r in rows) + "\n"
+    )
+    n_rows = predict_file(run_store_dir, "ex74", in_path, out_path)
+    assert n_rows == 21
+    got = np.asarray(
+        [[int(b) for b in line] for line in out_path.read_text().split()],
+        dtype=np.uint8,
+    )
+    assert np.array_equal(got, aig.simulate(rows))
+    assert format_outputs(got) == out_path.read_text()
+
+
+def test_predict_cli(tmp_path, run_store_dir):
+    from repro.cli import main
+
+    in_path = tmp_path / "rows.txt"
+    out_path = tmp_path / "preds.txt"
+    in_path.write_text("0" * 16 + "\n" + "1" * 16 + "\n")
+    main([
+        "predict", "--store", str(run_store_dir), "--model", "ex74",
+        "--input", str(in_path), "--output", str(out_path),
+    ])
+    assert len(out_path.read_text().split()) == 2
+    with pytest.raises(SystemExit):
+        main([
+            "predict", "--store", str(run_store_dir), "--model", "ex99",
+            "--input", str(in_path), "--output", str(out_path),
+        ])
+
+
+def test_serve_cli_parser():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--store", "runs/x", "--port", "9000", "--tick-ms", "1"]
+    )
+    assert args.command == "serve"
+    assert args.port == 9000 and args.tick_ms == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Run-store solution filenames (serving depends on exact key -> file)
+# ---------------------------------------------------------------------------
+
+
+def test_solution_filename_distinct_for_colliding_keys():
+    a = _solution_filename("b000:team_a:s0")
+    b = _solution_filename("b000:team:a:s0")
+    c = _solution_filename("b000_team_a_s0")
+    assert len({a, b, c}) == 3  # sanitization alone would collide
+    assert c == "b000_team_a_s0.aag"  # already-safe keys stay readable
+    for name in (a, b, c):
+        assert name.endswith(".aag")
+        assert not set(name) - set(
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-"
+        )
+
+
+def test_solution_text_round_trip(tmp_path):
+    store = RunStore(tmp_path)
+    aig = AIG(2)
+    aig.set_output(aig.add_and(2, 5))
+    aag = dumps_aag(aig)
+    store.append(
+        {"schema": 1, "key": "b001:f:s0", "benchmark_name": "ex01"}, aag=aag
+    )
+    assert store.solution_text("b001:f:s0") == aag
+    assert store.solution_text("b001:missing:s0") is None
+
+
+def test_solution_text_reads_legacy_pre_digest_files(tmp_path):
+    """Stores written before the digest suffix must keep serving."""
+    store = RunStore(tmp_path)
+    aig = AIG(2)
+    aig.set_output(aig.add_and(2, 4))
+    aag = dumps_aag(aig)
+    store.append(
+        {
+            "schema": 1,
+            "key": "b002:team01:s0",
+            "benchmark_name": "ex02",
+            "num_ands": 1,
+            "levels": 1,
+            "test_accuracy": 1.0,
+            "legal": True,
+        }
+    )
+    legacy = store.solutions_dir / "b002_team01_s0.aag"  # old naming
+    legacy.parent.mkdir(parents=True, exist_ok=True)
+    legacy.write_text(aag, encoding="ascii")
+    assert store.solution_path("b002:team01:s0") != legacy
+    assert store.solution_text("b002:team01:s0") == aag
+    ms = ModelStore(tmp_path)  # and the serving layer sees it too
+    assert ms.names() == ["ex02"]
+
+
+def test_bundle_from_files_explicit_meta(tmp_path):
+    aig = AIG(2)
+    aig.set_output(aig.add_and(2, 4))
+    aag_path = tmp_path / "c.aag"
+    aag_path.write_text(dumps_aag(aig), encoding="ascii")
+    meta_path = tmp_path / "other_name.json"
+    meta_path.write_text(json.dumps({"benchmark_name": "mine", "seed": 3}))
+    bundle = CircuitBundle.from_files(aag_path, meta_path)
+    circuit = bundle.compile()
+    assert circuit.info.name == "mine" and circuit.info.seed == 3
+    assert bundle.compile() is circuit  # compiled exactly once
+    bundle.drop_compiled()
+    assert bundle.compile() is not circuit

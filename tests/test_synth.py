@@ -124,9 +124,7 @@ class TestNetworkBridges:
 
     def test_mlp_bridge_rejects_wide_fanin(self, data, rng):
         X, y, _ = data
-        mlp = MLP(hidden_sizes=(40,), rng=rng).fit(
-            X.astype(float), y, epochs=2
-        )
+        MLP(hidden_sizes=(40,), rng=rng).fit(X.astype(float), y, epochs=2)
         # 9 inputs -> fanin 9 <= 16 is fine; force failure with a fake
         # wide layer by not pruning a 40-wide second layer input.
         from repro.synth.from_mlp import _neuron_table

@@ -260,15 +260,17 @@ def fraig_lite(
     max_leaves: int = 12,
     max_visit: int = 48,
     rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> AIG:
     """Merge simulation-equivalent nodes after a bounded exact proof.
 
     Random packed patterns are simulated once through the levelized
-    engine; variables with identical (or complementary) signatures
-    form candidate classes.  A candidate is merged into its class
-    representative only when exhaustive truth tables over a bounded
-    common cut *prove* the equivalence, so the output is functionally
-    identical to the input even though the signatures are random.
+    engine (on the selected executor ``backend``); variables with
+    identical (or complementary) signatures form candidate classes.
+    A candidate is merged into its class representative only when
+    exhaustive truth tables over a bounded common cut *prove* the
+    equivalence, so the output is functionally identical to the input
+    even though the signatures are random.
     """
     if aig.num_ands == 0:
         return aig.extract_cone()
@@ -277,7 +279,7 @@ def fraig_lite(
     packed = rng.integers(
         0, 1 << 64, size=(aig.n_inputs, n_words), dtype=np.uint64
     )
-    values = aig.simulate_packed_all(packed)
+    values = aig.simulate_packed_all(packed, backend=backend)
     inverted = ~values
     # Canonical signature: complement rows whose first bit is set, so
     # a node and its negation land in the same class.

@@ -8,6 +8,7 @@
     python -m repro.cli serve --store runs/mini --port 8080
     python -m repro.cli predict --store runs/mini --model ex74 \
         --input rows.txt --output preds.txt
+    python -m repro.cli bench-sim --benchmark 74
     python -m repro.cli flows
     python -m repro.cli list
 
@@ -25,7 +26,10 @@ executing anything.  ``serve`` loads the best stored solution per
 benchmark (a contest run with ``--keep-solutions``, or any directory
 of ``.aag`` files) and answers batched ``/predict/{model}`` HTTP
 requests; ``predict`` runs the same models offline on a rows file
-(see :mod:`repro.serve`).
+(see :mod:`repro.serve`).  ``contest``, ``serve`` and ``predict``
+accept ``--sim-backend`` to pick the simulation executor (numpy,
+fused or numba — see :mod:`repro.sim.backend`); ``bench-sim`` times
+every backend on one learned circuit and checks bit-agreement.
 """
 
 from __future__ import annotations
@@ -107,8 +111,30 @@ def _cmd_run(parser, args) -> None:
         print(f"wrote {args.out}")
 
 
+def _apply_sim_backend(parser, name: Optional[str]) -> None:
+    """Install ``--sim-backend`` as the session default (parent process;
+    the runner's pool initializer forwards it to workers)."""
+    if name is None:
+        return
+    from repro.sim.backend import set_backend
+
+    try:
+        set_backend(name)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _add_sim_backend_arg(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--sim-backend", default=None, metavar="NAME",
+        help="simulation executor: numpy, fused or numba (default: "
+             "REPRO_SIM_BACKEND or fused; numba silently falls back "
+             "to fused when not installed)")
+
+
 def _cmd_contest(parser, args) -> None:
     _validated_indices(parser, args.benchmarks)
+    _apply_sim_backend(parser, args.sim_backend)
     for spec in args.flows:
         _resolved_flow(parser, spec)
     run = run_contest(
@@ -157,9 +183,11 @@ def _cmd_serve(parser, args) -> None:
         app = ServeApp(
             args.store, tick_s=args.tick_ms / 1000.0,
             max_batch=args.max_batch, cache_size=args.cache_size,
+            sim_backend=args.sim_backend,
         )
     except (FileNotFoundError, ValueError) as exc:
         parser.error(str(exc))
+    print(f"repro serve: simulation backend {app.store.sim_backend!r}")
     try:
         asyncio.run(serve_forever(app, args.host, args.port))
     except KeyboardInterrupt:
@@ -172,11 +200,79 @@ def _cmd_predict(parser, args) -> None:
     try:
         n_rows = predict_file(
             args.store, args.model, args.input, args.output,
-            cache_size=args.cache_size,
+            cache_size=args.cache_size, sim_backend=args.sim_backend,
         )
     except (FileNotFoundError, KeyError, ValueError) as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
     print(f"wrote {n_rows} prediction(s) to {args.output}")
+
+
+def _cmd_bench_sim(parser, args) -> None:
+    """Time every simulation backend on one learned suite circuit."""
+    import time
+
+    import numpy as np
+
+    from repro.sim import CompiledAIG, SimProgram, available_backends, backend_names
+
+    _validated_indices(parser, [args.benchmark])
+    flow = _resolved_flow(parser, args.flow)
+    suite = build_suite()
+    problem = make_problem(
+        suite[args.benchmark], n_train=args.samples,
+        n_valid=args.samples, n_test=args.samples,
+        master_seed=args.seed,
+    )
+    solution = flow(problem, effort="small", master_seed=args.seed)
+    aig = solution.aig
+    program = SimProgram(aig)
+    print(f"benchmark: {problem.name}  circuit: {program.num_ands} ANDs, "
+          f"depth {program.depth}, {program.n_inputs} inputs")
+    n_words = max(1, args.sim_samples // 64)
+    rng = np.random.default_rng(args.seed)
+    packed = rng.integers(
+        0, 2**63, size=(program.n_inputs, n_words), dtype=np.int64
+    ).astype(np.uint64)
+    print(f"timing {n_words * 64} samples x {args.repeats} repeats "
+          f"per backend\n")
+    usable = set(available_backends())
+    reference = None
+    base_warm = None
+    print(f"{'backend':<8} {'cold(ms)':>9} {'warm(ms)':>9} "
+          f"{'speedup':>8}  agreement")
+    for name in backend_names():
+        if name not in usable:
+            print(f"{name:<8} {'-':>9} {'-':>9} {'-':>8}  "
+                  f"unavailable (requests fall back)")
+            continue
+        t0 = time.perf_counter()
+        compiled = CompiledAIG(program, backend=name)
+        out = compiled.run_packed_all(packed)
+        cold_ms = (time.perf_counter() - t0) * 1e3
+        warm_s = min(
+            _timed(compiled.run_packed_all, packed)
+            for _ in range(args.repeats)
+        )
+        warm_ms = warm_s * 1e3
+        if reference is None:
+            reference, base_warm = out, warm_ms
+            agree = "reference"
+        else:
+            agree = (
+                "bit-identical" if np.array_equal(out, reference)
+                else "MISMATCH"
+            )
+        speedup = base_warm / warm_ms if warm_ms > 0 else float("inf")
+        print(f"{name:<8} {cold_ms:>9.2f} {warm_ms:>9.3f} "
+              f"{speedup:>7.2f}x  {agree}")
+
+
+def _timed(fn, *fn_args) -> float:
+    import time
+
+    t0 = time.perf_counter()
+    fn(*fn_args)
+    return time.perf_counter() - t0
 
 
 def _default_contest_flows() -> list:
@@ -237,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="recompute even already-stored tasks")
     contest_p.add_argument("--keep-solutions", action="store_true",
                            help="also store each solution as .aag")
+    _add_sim_backend_arg(contest_p)
 
     report_p = sub.add_parser(
         "report", help="rebuild tables from a stored run (no execution)")
@@ -257,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="flush a model's queue at this many rows")
     serve_p.add_argument("--cache-size", type=int, default=32,
                          help="compiled circuits kept in the LRU")
+    _add_sim_backend_arg(serve_p)
 
     predict_p = sub.add_parser(
         "predict", help="offline batch scoring: rows file in, "
@@ -270,6 +368,22 @@ def build_parser() -> argparse.ArgumentParser:
     predict_p.add_argument("--output", required=True,
                            help="where to write one 0/1 line per row")
     predict_p.add_argument("--cache-size", type=int, default=32)
+    _add_sim_backend_arg(predict_p)
+
+    bench_p = sub.add_parser(
+        "bench-sim", help="compare simulation backends on one learned "
+                          "suite circuit (timing + agreement)")
+    bench_p.add_argument("--benchmark", type=int, default=74,
+                         help="suite index to learn a probe circuit on")
+    bench_p.add_argument("--flow", default="team01",
+                         help="flow that learns the probe circuit")
+    bench_p.add_argument("--samples", type=int, default=256,
+                         help="training samples for the probe circuit")
+    bench_p.add_argument("--sim-samples", type=int, default=4096,
+                         help="random samples to time each backend on")
+    bench_p.add_argument("--repeats", type=int, default=5,
+                         help="warm-run repeats (minimum is reported)")
+    bench_p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -290,6 +404,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         _cmd_serve(parser, args)
     elif args.command == "predict":
         _cmd_predict(parser, args)
+    elif args.command == "bench-sim":
+        _cmd_bench_sim(parser, args)
 
 
 if __name__ == "__main__":

@@ -112,6 +112,7 @@ class MicroBatcher:
 
     def stats(self) -> Dict[str, Any]:
         return {
+            "sim_backend": self.store.sim_backend,
             "requests": self.requests,
             "batches": self.batches,
             "rows_served": self.rows_served,

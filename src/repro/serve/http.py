@@ -64,9 +64,12 @@ class ServeApp:
         tick_s: float = 0.002,
         max_batch: int = 4096,
         cache_size: int = 32,
+        sim_backend: Optional[str] = None,
     ):
         if not isinstance(store, ModelStore):
-            store = ModelStore(store, cache_size=cache_size)
+            store = ModelStore(
+                store, cache_size=cache_size, sim_backend=sim_backend
+            )
         self.store = store
         self.batcher = MicroBatcher(store, tick_s=tick_s, max_batch=max_batch)
         self.started = time.monotonic()
@@ -78,16 +81,18 @@ class ServeApp:
         return {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self.started, 3),
+            "sim_backend": self.store.sim_backend,
             "store": self.store.stats(),
             "batching": self.batcher.stats(),
         }
 
     def models(self) -> Dict[str, Any]:
-        cached = set(self.store.cached_names())
+        backends = self.store.compiled_backends()
         infos = []
         for info in self.store.infos():
             payload = info.to_json()
-            payload["compiled"] = info.name in cached
+            payload["compiled"] = info.name in backends
+            payload["backend"] = backends.get(info.name)
             infos.append(payload)
         return {"models": infos}
 

@@ -14,7 +14,7 @@ rows to ``/predict/{model}`` — just without a server in the loop.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -63,9 +63,15 @@ def predict_file(
     in_path: PathLike,
     out_path: PathLike,
     cache_size: int = 32,
+    sim_backend: Optional[str] = None,
 ) -> int:
-    """Score a rows file against a stored model; returns row count."""
-    store = ModelStore(store_dir, cache_size=cache_size)
+    """Score a rows file against a stored model; returns row count.
+
+    ``sim_backend`` picks the simulation executor (see
+    :mod:`repro.sim.backend`); predictions are bit-identical across
+    backends, so this only changes speed.
+    """
+    store = ModelStore(store_dir, cache_size=cache_size, sim_backend=sim_backend)
     circuit = store.load(model)
     rows = read_rows_file(in_path)
     outputs = circuit.predict(rows)

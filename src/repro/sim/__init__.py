@@ -1,33 +1,37 @@
-"""Levelized, vectorized AIG simulation engine.
+"""Levelized, vectorized AIG simulation with pluggable backends.
 
 The seed simulator (`AIG.simulate_packed_all`) walks the AND nodes one
 at a time in a Python loop — fine for toy circuits, but the dominant
 cost when scoring thousands of candidate circuits across the paper's
 100-benchmark suite.  This subsystem replaces that loop with a
-*compile once, evaluate many* pipeline:
+*compile once, evaluate many* pipeline split into three layers:
 
-Compile (:func:`compile_aig` -> :class:`CompiledAIG`)
+Program IR (:class:`~repro.sim.program.SimProgram`)
     The AIG is levelized (:meth:`AIG.levels` semantics, computed with a
-    vectorized Jacobi sweep) and its variables renumbered into a *slot*
+    vectorized Jacobi sweep with an adaptive scalar cutover for
+    chain-like graphs) and its variables renumbered into a *slot*
     layout where every logic level occupies a contiguous row range.
-    For each level the compiler stores one fused fanin gather vector
-    (all fanin-0 slots, then all fanin-1 slots) with the nodes ordered
-    so that complemented fanins form contiguous runs.  Output literals
-    become a slot gather vector plus a complement mask.  Compilation is
-    itself vectorized — no per-node Python loop — so compiling is cheap
-    enough to do on the fly, and the compiled form is cached on the
-    ``AIG`` keyed by a structural version (see :meth:`AIG.compiled`).
+    The program stores both a per-level view (fused fanin gather
+    vectors with complemented fanins grouped into contiguous runs)
+    and a flat per-node view, is immutable and picklable, and is
+    cached on the ``AIG`` keyed by a structural version (see
+    :meth:`AIG.compiled`).
+
+Executor backends (:mod:`repro.sim.backend`, :mod:`repro.sim.executors`)
+    One program, three interchangeable executors — ``numpy`` (the
+    per-level whole-array reference), ``fused`` (same schedule on a
+    preallocated, reused arena: zero allocation per warm run) and
+    ``numba`` (the whole program lowered into a single nopython
+    kernel; optional, silently falling back to ``fused`` when numba
+    is missing).  Selection precedence: call argument >
+    :func:`set_backend` > the ``REPRO_SIM_BACKEND`` env var > the
+    ``fused`` default.  All backends are bit-identical by contract.
 
 Evaluate (:meth:`CompiledAIG.run_packed_all` and friends)
-    One packed value matrix ``(num_vars, n_words)`` is filled level by
-    level.  Each level is a handful of whole-array ops: a fused
-    ``np.take`` of both fanin row sets, scalar XORs over the
-    complemented runs, and an AND written directly into the level's
-    contiguous slot range — so the Python interpreter executes
-    ``O(depth)`` statements instead of ``O(num_ands)``.  Results are
-    bit-exact with the seed loop (preserved as
-    :func:`reference_simulate_packed_all` for property tests and
-    benchmarks).
+    A :class:`CompiledAIG` binds one program to one executor and keeps
+    the historical API.  Results are bit-exact with the seed loop
+    (preserved as :func:`reference_simulate_packed_all` for property
+    tests and benchmarks) on every backend.
 
 Batch (:mod:`repro.sim.batch`)
     Two fan-out patterns the contest harness needs constantly:
@@ -41,12 +45,22 @@ Batch (:mod:`repro.sim.batch`)
     compiled circuit, many tiny row blocks*
     (:func:`simulate_rows_grouped`), is the coalescing primitive the
     serving layer (:mod:`repro.serve`) builds its microbatcher on.
+    All four route through the selected executor backend.
 
 `AIG.simulate`, `AIG.simulate_packed`, `AIG.simulate_packed_all` and
 `AIG.truth_tables` all delegate here; existing callers keep their
 signatures and get the fast path for free.
 """
 
+from repro.sim.backend import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    available_backends,
+    backend_names,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.sim.batch import (
     output_predictions,
     simulate_circuits,
@@ -58,13 +72,25 @@ from repro.sim.engine import (
     compile_aig,
     reference_simulate_packed_all,
 )
+from repro.sim.executors import BackendUnavailable, Executor
+from repro.sim.program import SimProgram
 
 __all__ = [
     "CompiledAIG",
+    "SimProgram",
+    "Executor",
+    "BackendUnavailable",
     "compile_aig",
     "reference_simulate_packed_all",
     "simulate_datasets",
     "simulate_circuits",
     "simulate_rows_grouped",
     "output_predictions",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "set_backend",
+    "resolve_backend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
 ]

@@ -1,0 +1,147 @@
+"""Simulation backend selection: one config surface for every consumer.
+
+Every sim entry point — ``AIG.simulate*``, the four batched APIs, the
+contest evaluator, fraig-lite, the serving layer — resolves its
+executor through this module, so one knob retargets the whole stack.
+
+Selection precedence (first hit wins):
+
+1. An explicit ``backend=`` argument on the call (or the component
+   that owns the compiled circuit, e.g. ``ModelStore(sim_backend=...)``).
+2. A process-wide :func:`set_backend` (what ``--sim-backend`` CLI
+   flags use; the contest runner forwards it into worker processes).
+3. The ``REPRO_SIM_BACKEND`` environment variable, read at resolve
+   time so spawned workers and subprocesses inherit it for free.
+4. The default, ``fused``.
+
+Requesting ``numba`` when the optional numba package is missing is
+*not* an error anywhere on this path: the registry silently falls back
+to ``fused`` (the registered fallback), so an env var set on a fleet
+where only some hosts have numba degrades gracefully.  Unknown names,
+by contrast, always raise — a typo must not silently change what runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.sim.executors import (
+    BackendUnavailable,
+    Executor,
+    FusedExecutor,
+    NumbaExecutor,
+    NumpyExecutor,
+    numba_available,
+)
+from repro.sim.program import SimProgram
+
+DEFAULT_BACKEND = "fused"
+ENV_VAR = "REPRO_SIM_BACKEND"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: how to build it and when it exists."""
+
+    name: str
+    factory: Callable[[SimProgram], Executor]
+    is_available: Callable[[], bool]
+    fallback: Optional[str] = None  # used silently when unavailable
+    description: str = ""
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+_forced: Optional[str] = None
+
+
+def register_backend(spec: BackendSpec) -> None:
+    """Register (or replace) a backend under ``spec.name``."""
+    _REGISTRY[spec.name] = spec
+
+
+register_backend(BackendSpec(
+    name="numpy",
+    factory=NumpyExecutor,
+    is_available=lambda: True,
+    description="per-level whole-array reference (always available)",
+))
+register_backend(BackendSpec(
+    name="fused",
+    factory=FusedExecutor,
+    is_available=lambda: True,
+    description="per-level in-place ops on a preallocated arena",
+))
+register_backend(BackendSpec(
+    name="numba",
+    factory=NumbaExecutor,
+    is_available=numba_available,
+    fallback="fused",
+    description="whole-program nopython kernel (optional numba dep)",
+))
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, available or not."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this process, in registration order."""
+    return tuple(
+        name for name, spec in _REGISTRY.items() if spec.is_available()
+    )
+
+
+def _checked(name: str) -> str:
+    name = name.strip().lower()
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown simulation backend {name!r} "
+            f"(registered: {', '.join(_REGISTRY)})"
+        )
+    return name
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Set the process-wide backend (``None`` clears the override)."""
+    global _forced
+    _forced = None if name is None else _checked(name)
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """The effective backend for a request (see module docstring).
+
+    Applies the documented precedence, validates the name, and walks
+    the silent-fallback chain of unavailable optional backends.
+    """
+    if name is None:
+        if _forced is not None:
+            name = _forced
+        else:
+            name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    name = _checked(name)
+    seen = set()
+    while not _REGISTRY[name].is_available():
+        seen.add(name)
+        fallback = _REGISTRY[name].fallback
+        if fallback is None or fallback in seen:
+            raise BackendUnavailable(
+                f"simulation backend {name!r} is unavailable and has "
+                f"no fallback"
+            )
+        name = _checked(fallback)
+    return name
+
+
+def get_backend() -> str:
+    """The backend a ``backend=None`` call would use right now."""
+    return resolve_backend(None)
+
+
+def executor_for(
+    program: SimProgram, backend: Optional[str] = None
+) -> Executor:
+    """Build the selected backend's executor for ``program``."""
+    return _REGISTRY[resolve_backend(backend)].factory(program)

@@ -3,11 +3,17 @@
 Both directions amortize the expensive part — bit-packing the sample
 matrix and setting up the simulation — across everything that shares
 it.  See :mod:`repro.sim` for the overall lifecycle.
+
+Every batched API takes an optional ``backend`` argument naming the
+executor backend to simulate on (``None`` follows the selection
+precedence in :mod:`repro.sim.backend`), so the contest evaluator,
+``pick_best`` and the serving microbatcher all inherit a backend
+switch without code changes of their own.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -15,7 +21,9 @@ from repro.utils.bitops import pack_bits, unpack_bits
 
 
 def simulate_datasets(
-    aig, sample_matrices: Sequence[np.ndarray]
+    aig,
+    sample_matrices: Sequence[np.ndarray],
+    backend: Optional[str] = None,
 ) -> List[np.ndarray]:
     """Simulate one circuit on several sample matrices in one pass.
 
@@ -27,10 +35,11 @@ def simulate_datasets(
     mats = [np.asarray(m, dtype=np.uint8) for m in sample_matrices]
     if not mats:
         return []
+    compiled = aig.compiled(backend)
     if len(mats) == 1:
-        return [aig.simulate(mats[0])]
+        return [compiled.run(mats[0])]
     stacked = np.vstack(mats)
-    merged = aig.simulate(stacked)
+    merged = compiled.run(stacked)
     out: List[np.ndarray] = []
     offset = 0
     for m in mats:
@@ -40,7 +49,9 @@ def simulate_datasets(
 
 
 def simulate_rows_grouped(
-    compiled, row_blocks: Sequence[np.ndarray]
+    compiled,
+    row_blocks: Sequence[np.ndarray],
+    backend: Optional[str] = None,
 ) -> List[np.ndarray]:
     """One compiled circuit, many small row blocks, one engine pass.
 
@@ -52,7 +63,12 @@ def simulate_rows_grouped(
     ``(k_i, n_outputs)`` uint8 slice.  Coalescing N single-row
     requests this way replaces N engine invocations (and N packing
     passes) with one.
+
+    ``compiled`` already carries a backend; pass ``backend`` to
+    re-bind the shared program to another executor (no recompile).
     """
+    if backend is not None:
+        compiled = compiled.with_backend(backend)
     blocks = []
     for block in row_blocks:
         mat = np.asarray(block, dtype=np.uint8)
@@ -72,7 +88,9 @@ def simulate_rows_grouped(
 
 
 def simulate_circuits(
-    aigs: Sequence, samples: np.ndarray
+    aigs: Sequence,
+    samples: np.ndarray,
+    backend: Optional[str] = None,
 ) -> List[np.ndarray]:
     """Simulate many circuits on one sample matrix, packing it once.
 
@@ -89,15 +107,21 @@ def simulate_circuits(
     packed = pack_bits(samples)
     n_samples = samples.shape[0]
     return [
-        unpack_bits(aig.compiled().run_packed(packed), n_samples)
+        unpack_bits(aig.compiled(backend).run_packed(packed), n_samples)
         for aig in aigs
     ]
 
 
-def output_predictions(aigs: Sequence, samples: np.ndarray) -> List[np.ndarray]:
+def output_predictions(
+    aigs: Sequence,
+    samples: np.ndarray,
+    backend: Optional[str] = None,
+) -> List[np.ndarray]:
     """First-output predictions of many single-output candidates.
 
     Convenience wrapper for the contest setting (one output per
     circuit): returns one ``(n_samples,)`` uint8 vector per circuit.
     """
-    return [out[:, 0] for out in simulate_circuits(aigs, samples)]
+    return [
+        out[:, 0] for out in simulate_circuits(aigs, samples, backend)
+    ]

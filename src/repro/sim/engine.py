@@ -1,174 +1,109 @@
-"""Levelized compilation of an AIG into flat simulation arrays.
+"""Compiled simulation engines: program IR bound to an executor.
 
-See :mod:`repro.sim` for the compile/evaluate lifecycle.  The compiled
-form is immutable and independent of the source :class:`AIG`, so it can
-be kept around and reused even while the graph keeps growing (the AIG
-itself caches one compiled instance per structural version, see
-:meth:`repro.aig.aig.AIG.compiled`).
+See :mod:`repro.sim` for the compile/evaluate lifecycle.  Compilation
+is split in two layers since the backend refactor:
+
+* :class:`~repro.sim.program.SimProgram` — the backend-neutral
+  levelized program (gather vectors, complement runs, output spec).
+  Immutable, picklable, independent of the source :class:`AIG`.
+* :class:`CompiledAIG` — one program bound to one executor backend
+  (``numpy``/``fused``/``numba``, see :mod:`repro.sim.backend`).  This
+  is the object consumers hold; it keeps the historical ``run*`` API
+  bit-for-bit.  Engines sharing a program share the compile work —
+  :meth:`with_backend` rebinds without recompiling, and the AIG-side
+  cache (:meth:`repro.aig.aig.AIG.compiled`) keys executors by
+  ``(structural version, outputs, backend)`` while compiling the
+  program once per version.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.sim.program import ALL_ONES, SimProgram, _levelize  # noqa: F401
 from repro.utils.bitops import pack_bits, unpack_bits
-
-ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-
-def _levelize(n_inputs: int, v0: np.ndarray, v1: np.ndarray) -> np.ndarray:
-    """Level of every variable, computed one *level* at a time.
-
-    ``v0``/``v1`` are the fanin variable indices of the AND nodes.
-    Instead of the seed's per-node loop this runs a Jacobi relaxation:
-    each whole-array round propagates levels one step deeper, so the
-    Python loop runs ``depth + 1`` times, not ``num_ands`` times.
-    """
-    num_ands = v0.shape[0]
-    num_vars = 1 + n_inputs + num_ands
-    lv = np.zeros(num_vars, dtype=np.int32)
-    if not num_ands:
-        return lv
-    base = 1 + n_inputs
-    # Jacobi needs one round per logic level; ML-synthesized circuits
-    # are shallow, so cap the rounds and fall back to the exact
-    # sequential sweep for pathologically deep (chain-like) graphs,
-    # where O(depth * n) vector rounds would lose to O(n) scalar work.
-    max_rounds = min(num_ands + 1, 64)
-    for _ in range(max_rounds):
-        nxt = np.maximum(lv[v0], lv[v1])
-        nxt += 1
-        if np.array_equal(lv[base:], nxt):
-            return lv
-        lv[base:] = nxt
-    levels = lv.tolist()
-    for j, (a, b) in enumerate(zip(v0.tolist(), v1.tolist())):
-        la, lb = levels[a], levels[b]
-        levels[base + j] = (la if la > lb else lb) + 1
-    return np.asarray(levels, dtype=np.int32)
 
 
 class CompiledAIG:
-    """An AIG flattened into per-level gather/mask arrays.
+    """A :class:`SimProgram` bound to one executor backend.
 
-    Attributes
-    ----------
-    n_inputs, num_vars, num_outputs:
-        Interface of the source graph.
-    level_ops:
-        One tuple ``(lo, hi, idx01, c0_start, c1_lo, c1_hi)`` per
-        logic level ``>= 1``: the contiguous *slot* range updated on
-        that level, the fused fanin gather vector (all fanin-0 slots
-        then all fanin-1 slots) and the boundaries of the complemented
-        runs (see ``__init__`` for the grouping invariant).
-
-    Internally values live in a *slot* layout — variables renumbered
-    so every level occupies a contiguous row range — which turns the
-    per-level scatter into a slice store fused with the AND.
-    ``run_packed_all`` permutes back to variable order on the way out;
-    ``run_packed`` gathers the outputs straight from their slots.
+    ``source`` is an :class:`~repro.aig.aig.AIG` (compiled here) or an
+    already-built :class:`SimProgram` (shared, no recompile).
+    ``backend`` resolves through :func:`repro.sim.backend.
+    resolve_backend`; the *effective* backend name — after env-var
+    lookup and the numba-missing fallback — is recorded as
+    :attr:`backend`.
     """
 
-    def __init__(self, aig):
-        self.n_inputs = aig.n_inputs
-        self.num_vars = aig.num_vars
-        self.num_outputs = aig.num_outputs
-        f0 = np.asarray(aig._fanin0, dtype=np.int64)
-        f1 = np.asarray(aig._fanin1, dtype=np.int64)
-        v0, v1 = f0 >> 1, f1 >> 1
-        c0, c1 = (f0 & 1).astype(bool), (f1 & 1).astype(bool)
-        lv = _levelize(self.n_inputs, v0, v1)
-        # Level of every variable (constant and inputs are 0); kept so
-        # cached engines also answer AIG.levels()/depth() for free.
-        self.var_levels = lv
-        self.depth = int(lv.max()) if lv.size else 0
-        node_lv = lv[1 + self.n_inputs :]
-        # Within each level, order nodes by complement pattern
-        # (c0, c1) as 00, 01, 11, 10.  That makes both complemented
-        # runs contiguous — fanin-1 complements occupy [c1_lo, c1_hi)
-        # and fanin-0 complements the tail [c0_start, k) — so
-        # evaluation applies them with cheap scalar-XOR slice ops
-        # instead of a per-node broadcast mask.
-        group_rank = np.array([0, 3, 1, 2], dtype=np.int8)  # index c0+2*c1
-        rank = group_rank[(c0 + 2 * c1).astype(np.int8)]
-        order = np.argsort(node_lv * 4 + rank, kind="stable")
-        bounds = np.searchsorted(node_lv[order], np.arange(1, self.depth + 2))
-        base = 1 + self.n_inputs
-        num_ands = v0.shape[0]
-        # Slot layout: constant and inputs keep their indices, AND node
-        # at global level-order position p lands in slot base + p.
-        self._slot = np.arange(self.num_vars, dtype=np.int64)
-        self._slot[base + order] = base + np.arange(num_ands, dtype=np.int64)
-        v0s, v1s = self._slot[v0], self._slot[v1]
-        self.level_ops: List[Tuple[int, int, np.ndarray, int, int, int]] = []
-        self._max_width = 0
-        start = 0
-        for stop in bounds:
-            sel = order[start:stop]
-            if sel.size:
-                k = sel.size
-                idx01 = np.concatenate((v0s[sel], v1s[sel]))
-                counts = np.bincount(rank[sel], minlength=4)
-                c1_lo = int(counts[0])
-                c1_hi = int(counts[0] + counts[1] + counts[2])
-                c0_start = int(counts[0] + counts[1])
-                self.level_ops.append(
-                    (base + start, base + stop, idx01, c0_start, c1_lo, c1_hi)
-                )
-                self._max_width = max(self._max_width, k)
-            start = stop
-        outs = np.asarray(aig.outputs, dtype=np.int64)
-        self.out_var = outs >> 1
-        self._out_slot = self._slot[self.out_var]
-        self.out_mask = np.where(
-            outs & 1, ALL_ONES, np.uint64(0)
-        ).astype(np.uint64)
+    def __init__(
+        self,
+        source: Union[SimProgram, object],
+        backend: Optional[str] = None,
+    ):
+        from repro.sim.backend import executor_for
+
+        if isinstance(source, SimProgram):
+            self.program = source
+        else:
+            self.program = SimProgram(source)
+        self._executor = executor_for(self.program, backend)
+        self.backend: str = self._executor.name
+
+    def with_backend(self, backend: Optional[str]) -> "CompiledAIG":
+        """This engine, or a sibling on another backend (shared IR)."""
+        from repro.sim.backend import resolve_backend
+
+        if resolve_backend(backend) == self.backend:
+            return self
+        return CompiledAIG(self.program, backend)
+
+    # -- program delegation (the historical public attributes) ---------
+    @property
+    def n_inputs(self) -> int:
+        return self.program.n_inputs
+
+    @property
+    def num_vars(self) -> int:
+        return self.program.num_vars
+
+    @property
+    def num_outputs(self) -> int:
+        return self.program.num_outputs
+
+    @property
+    def var_levels(self) -> np.ndarray:
+        return self.program.var_levels
+
+    @property
+    def depth(self) -> int:
+        return self.program.depth
 
     @property
     def level_widths(self) -> List[int]:
         """Number of AND nodes on each logic level ``>= 1``."""
-        return [hi - lo for lo, hi, *_ in self.level_ops]
+        return self.program.level_widths
+
+    @property
+    def level_ops(self):
+        return self.program.level_ops
+
+    @property
+    def out_var(self) -> np.ndarray:
+        return self.program.out_var
+
+    @property
+    def out_mask(self) -> np.ndarray:
+        return self.program.out_mask
 
     # ------------------------------------------------------------------
     # Packed evaluation
     # ------------------------------------------------------------------
     def _run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
-        """Evaluate into the internal slot layout (see class docstring)."""
-        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
-        if packed_inputs.ndim == 1:
-            packed_inputs = packed_inputs[:, None]
-        if packed_inputs.shape[0] != self.n_inputs:
-            raise ValueError(
-                f"expected {self.n_inputs} input rows, "
-                f"got {packed_inputs.shape[0]}"
-            )
-        n_words = packed_inputs.shape[1]
-        # Every slot row is written below (const row here, input rows
-        # next, node ranges level by level), so no zero-fill needed.
-        values = np.empty((self.num_vars, n_words), dtype=np.uint64)
-        values[0] = 0
-        values[1 : 1 + self.n_inputs] = packed_inputs
-        # One scratch buffer sized for the widest level.  Both fanin
-        # rows of a level are fetched with a single fused gather,
-        # complements are scalar XORs over the contiguous runs set up
-        # by the compiler, and the AND writes straight into the
-        # level's contiguous slot range — a handful of whole-array ops
-        # per level regardless of width.
-        scratch = np.empty((2 * self._max_width, n_words), dtype=np.uint64)
-        for lo, hi, idx01, c0_start, c1_lo, c1_hi in self.level_ops:
-            k = hi - lo
-            buf = scratch[: 2 * k]
-            np.take(values, idx01, axis=0, out=buf)
-            if c0_start < k:
-                part = buf[c0_start:k]
-                np.bitwise_xor(part, ALL_ONES, out=part)
-            if c1_lo < c1_hi:
-                part = buf[k + c1_lo : k + c1_hi]
-                np.bitwise_xor(part, ALL_ONES, out=part)
-            np.bitwise_and(buf[:k], buf[k:], out=values[lo:hi])
-        return values
+        """Evaluate into the slot layout (borrowed buffer — copy out)."""
+        packed = self.program.validate_packed(packed_inputs)
+        return self._executor.run_slots(packed)
 
     def run_packed_all(self, packed_inputs: np.ndarray) -> np.ndarray:
         """Values of *every* variable, shape ``(num_vars, n_words)``.
@@ -176,16 +111,17 @@ class CompiledAIG:
         Bit-exact drop-in for the seed ``AIG.simulate_packed_all``.
         """
         values = self._run_slots(packed_inputs)
-        # Permute back from slot layout to variable order.
-        return values.take(self._slot, axis=0)
+        # Permute back from slot layout to variable order (also copies
+        # out of the executor's reused arena).
+        return values.take(self.program.slot, axis=0)
 
     def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
         """Packed output values, shape ``(num_outputs, n_words)``."""
         values = self._run_slots(packed_inputs)
         if not self.num_outputs:
             return np.zeros((0, values.shape[1]), dtype=np.uint64)
-        out = values.take(self._out_slot, axis=0)
-        np.bitwise_xor(out, self.out_mask[:, None], out=out)
+        out = values.take(self.program.out_slot, axis=0)
+        np.bitwise_xor(out, self.program.out_mask[:, None], out=out)
         return out
 
     # ------------------------------------------------------------------
@@ -203,9 +139,9 @@ class CompiledAIG:
         return unpack_bits(out, samples.shape[0])
 
 
-def compile_aig(aig) -> CompiledAIG:
-    """Compile ``aig`` into its levelized form."""
-    return CompiledAIG(aig)
+def compile_aig(aig, backend: Optional[str] = None) -> CompiledAIG:
+    """Compile ``aig`` into its levelized form on ``backend``."""
+    return CompiledAIG(aig, backend)
 
 
 def reference_simulate_packed_all(aig, packed_inputs: np.ndarray) -> np.ndarray:

@@ -1,0 +1,214 @@
+"""Executor backends for :class:`~repro.sim.program.SimProgram`.
+
+An executor turns one program plus a packed input matrix into the
+packed value matrix in *slot* layout (see the program docstring).  All
+backends are bit-identical by contract — the cross-backend
+differential tests enforce it — and differ only in how they schedule
+the same gather/complement/AND arithmetic:
+
+``numpy`` (:class:`NumpyExecutor`)
+    The reference: per-level whole-array ops with buffers allocated
+    per call.  Always available, no state, safe to share.
+
+``fused`` (:class:`FusedExecutor`)
+    The same per-level schedule, but the slot arena and the gather
+    scratch are preallocated once per (program, word-count) and every
+    level executes as in-place ops on the reused buffers — a warm run
+    allocates nothing.  The complement runs were already folded into
+    contiguous slices by the compiler; this backend additionally keeps
+    them in cache-hot scratch.  One executor instance serves one
+    program at a time (the arena is reused across calls), which is
+    exactly the lifecycle of :meth:`repro.aig.aig.AIG.compiled` and
+    the serving LRU.
+
+``numba`` (:class:`NumbaExecutor`)
+    Lowers the *whole* levelized program into a single nopython
+    kernel over the per-node view: one sequential pass in topological
+    slot order, two gathers + two XORs + one AND per node per word,
+    no Python dispatch per level and no intermediate gather arrays.
+    Optional: constructing it raises :class:`BackendUnavailable` when
+    numba is not importable, and the registry silently falls back to
+    ``fused`` (see :mod:`repro.sim.backend`).
+
+Executors return the internal arena (a *borrowed* array, overwritten
+by the next call); :class:`repro.sim.engine.CompiledAIG` copies on the
+way out of every public entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.sim.program import ALL_ONES, SimProgram
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend's runtime dependency is missing."""
+
+
+class Executor(Protocol):
+    """What a simulation backend must provide."""
+
+    name: str
+    program: SimProgram
+
+    def run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Evaluate validated ``(n_inputs, n_words)`` packed words into
+        the slot-layout value matrix ``(num_vars, n_words)``.  The
+        returned array may be a reused internal buffer."""
+        ...
+
+
+def _run_levels(
+    program: SimProgram,
+    values: np.ndarray,
+    scratch: np.ndarray,
+    packed_inputs: np.ndarray,
+) -> np.ndarray:
+    """The shared per-level schedule (numpy and fused backends).
+
+    Every slot row is written (const row, input rows, then node
+    ranges level by level), so the arena needs no zero-fill.  Each
+    level is a handful of whole-array ops: a fused ``np.take`` of
+    both fanin row sets, scalar XORs over the contiguous complement
+    runs set up by the compiler, and an AND written straight into the
+    level's contiguous slot range.
+    """
+    values[0] = 0
+    values[1 : 1 + program.n_inputs] = packed_inputs
+    for lo, hi, idx01, c0_start, c1_lo, c1_hi in program.level_ops:
+        k = hi - lo
+        buf = scratch[: 2 * k]
+        np.take(values, idx01, axis=0, out=buf)
+        if c0_start < k:
+            part = buf[c0_start:k]
+            np.bitwise_xor(part, ALL_ONES, out=part)
+        if c1_lo < c1_hi:
+            part = buf[k + c1_lo : k + c1_hi]
+            np.bitwise_xor(part, ALL_ONES, out=part)
+        np.bitwise_and(buf[:k], buf[k:], out=values[lo:hi])
+    return values
+
+
+class NumpyExecutor:
+    """Reference whole-array executor; allocates per call."""
+
+    name = "numpy"
+
+    def __init__(self, program: SimProgram):
+        self.program = program
+
+    def run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
+        p = self.program
+        n_words = packed_inputs.shape[1]
+        values = np.empty((p.num_vars, n_words), dtype=np.uint64)
+        scratch = np.empty((2 * p.max_width, n_words), dtype=np.uint64)
+        return _run_levels(p, values, scratch, packed_inputs)
+
+
+class _ArenaMixin:
+    """Slot arena reused across calls, rebuilt when n_words changes."""
+
+    program: SimProgram
+    _values: Optional[np.ndarray]
+    _scratch: Optional[np.ndarray]
+
+    def _arena(self, n_words: int) -> np.ndarray:
+        values = self._values
+        if values is None or values.shape[1] != n_words:
+            values = np.empty(
+                (self.program.num_vars, n_words), dtype=np.uint64
+            )
+            self._values = values
+            self._scratch = np.empty(
+                (2 * self.program.max_width, n_words), dtype=np.uint64
+            )
+        return values
+
+
+class FusedExecutor(_ArenaMixin):
+    """Whole-array executor over a preallocated, reused arena."""
+
+    name = "fused"
+
+    def __init__(self, program: SimProgram):
+        self.program = program
+        self._values = None
+        self._scratch = None
+
+    def run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
+        values = self._arena(packed_inputs.shape[1])
+        return _run_levels(
+            self.program, values, self._scratch, packed_inputs
+        )
+
+
+# ---------------------------------------------------------------------
+# numba backend (optional dependency)
+# ---------------------------------------------------------------------
+_NUMBA_KERNEL = None
+
+
+def numba_available() -> bool:
+    """True when the numba JIT can be imported (checked once)."""
+    try:
+        _numba_kernel()
+    except BackendUnavailable:
+        return False
+    return True
+
+
+def _numba_kernel():
+    """Compile (lazily, once per process) the whole-program kernel."""
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:
+        try:
+            import numba
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "the 'numba' simulation backend needs the optional "
+                "numba package"
+            ) from exc
+
+        @numba.njit(nogil=True, cache=False)
+        def kernel(values, g0, g1, x0, x1, base):  # pragma: no cover
+            # Covered only on the optional-deps CI leg: one pass over
+            # the per-node program view in topological slot order.
+            n_words = values.shape[1]
+            for i in range(g0.shape[0]):
+                a = g0[i]
+                b = g1[i]
+                xa = x0[i]
+                xb = x1[i]
+                o = base + i
+                for w in range(n_words):
+                    values[o, w] = (values[a, w] ^ xa) & (values[b, w] ^ xb)
+
+        _NUMBA_KERNEL = kernel
+    return _NUMBA_KERNEL
+
+
+class NumbaExecutor(_ArenaMixin):
+    """Whole-program JIT executor (optional numba dependency)."""
+
+    name = "numba"
+
+    def __init__(self, program: SimProgram):
+        self.program = program
+        self._values = None
+        self._scratch = None
+        self._kernel = _numba_kernel()  # raises BackendUnavailable
+
+    def run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
+        p = self.program
+        values = self._arena(packed_inputs.shape[1])
+        values[0] = 0
+        values[1 : 1 + p.n_inputs] = packed_inputs
+        if p.node_g0.size:
+            self._kernel(
+                values, p.node_g0, p.node_g1, p.node_x0, p.node_x1,
+                p.base_var,
+            )
+        return values

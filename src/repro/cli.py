@@ -183,15 +183,23 @@ def _cmd_serve(parser, args) -> None:
         app = ServeApp(
             args.store, tick_s=args.tick_ms / 1000.0,
             max_batch=args.max_batch, cache_size=args.cache_size,
-            sim_backend=args.sim_backend,
+            sim_backend=args.sim_backend, workers=args.workers,
+            max_queued_rows=args.max_queued_rows,
+            deadline_ms=args.deadline_ms,
         )
     except (FileNotFoundError, ValueError) as exc:
         parser.error(str(exc))
     print(f"repro serve: simulation backend {app.store.sim_backend!r}")
+    if app.pool is not None:
+        # Fork the workers before asyncio spins up any helper threads.
+        app.pool.warm_up(timeout=60.0)
+        print(f"repro serve: {app.pool.workers} worker process(es) warm")
     try:
         asyncio.run(serve_forever(app, args.host, args.port))
     except KeyboardInterrupt:
         print("\nrepro serve: stopped")
+    finally:
+        app.close()
 
 
 def _cmd_predict(parser, args) -> None:
@@ -354,6 +362,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="flush a model's queue at this many rows")
     serve_p.add_argument("--cache-size", type=int, default=32,
                          help="compiled circuits kept in the LRU")
+    serve_p.add_argument("--workers", type=int, default=0,
+                         help="worker processes executing batches "
+                              "(0 = in the serving process)")
+    serve_p.add_argument("--max-queued-rows", type=int, default=None,
+                         help="per-model queued+inflight row cap; past "
+                              "it /predict answers 503 (default: "
+                              "unbounded)")
+    serve_p.add_argument("--deadline-ms", type=float, default=None,
+                         help="fail requests still queued after this "
+                              "long with 503 (default: no deadline)")
     _add_sim_backend_arg(serve_p)
 
     predict_p = sub.add_parser(

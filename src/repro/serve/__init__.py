@@ -19,31 +19,60 @@ Batch (:mod:`repro.serve.batching`)
     packing and per-level dispatch across every row in flight.
     Results are bit-identical to per-request evaluation.
 
+Execute (:mod:`repro.serve.pool`)
+    With ``--workers N`` the coalesced batches are dispatched to a
+    :class:`WorkerPool` of N processes, each holding its own LRU of
+    compiled circuits keyed by bundle content digest and simulating
+    on the parent's backend — the event loop never blocks on a
+    CPU-bound engine pass.  ``--workers 0`` keeps the in-process
+    tier.  Per-model backpressure (``--max-queued-rows``,
+    ``--deadline-ms``) answers overload with 503s instead of
+    unbounded queues.
+
+Observe (:mod:`repro.serve.metrics`)
+    ``GET /metrics`` serves Prometheus-text counters, latency and
+    batch-size histograms, queue depths and cache statistics.
+
 Serve (:mod:`repro.serve.http` / :mod:`repro.serve.predict`)
     ``repro serve --store DIR --port N`` starts a stdlib-asyncio HTTP
-    front end (``/predict/{model}``, ``/models``, ``/healthz``);
-    ``repro predict`` runs the same computation offline,
-    rows-file-in / predictions-file-out.
+    front end (``/predict/{model}``, ``/models``, ``/healthz``,
+    ``/metrics``); ``repro predict`` runs the same computation
+    offline, rows-file-in / predictions-file-out.
 
 ``benchmarks/bench_serve.py`` measures the design: coalesced
-throughput vs a single-row request loop, and cold-vs-warm compile
-cost through the LRU.
+throughput vs a single-row request loop, cold-vs-warm compile cost
+through the LRU, and (``--load``) saturation behavior and worker
+scaling under thousands of concurrent keep-alive connections.
 """
 
-from repro.serve.batching import MicroBatcher
+from repro.serve.batching import (
+    DeadlineExceeded,
+    ExecutionError,
+    MicroBatcher,
+    QueueSaturated,
+)
 from repro.serve.bundle import CircuitBundle, CompiledCircuit, ModelInfo
 from repro.serve.http import ServeApp, ServerHandle, serve_forever
+from repro.serve.metrics import MetricsRegistry, ServeMetrics, parse_metrics_text
+from repro.serve.pool import WorkerPool
 from repro.serve.predict import predict_file, read_rows_file
 from repro.serve.store import ModelStore
 
 __all__ = [
     "CircuitBundle",
     "CompiledCircuit",
+    "DeadlineExceeded",
+    "ExecutionError",
+    "MetricsRegistry",
     "MicroBatcher",
     "ModelInfo",
     "ModelStore",
+    "QueueSaturated",
     "ServeApp",
+    "ServeMetrics",
     "ServerHandle",
+    "WorkerPool",
+    "parse_metrics_text",
     "predict_file",
     "read_rows_file",
     "serve_forever",

@@ -6,26 +6,90 @@ overhead for one row of work.  The :class:`MicroBatcher` closes that
 gap: requests enqueue into a per-model queue and a short *tick* timer
 (default 2 ms) is armed on the first arrival; when it fires — or as
 soon as ``max_batch`` rows are waiting — the whole queue is flushed
-as **one** grouped engine pass
-(:meth:`~repro.serve.bundle.CompiledCircuit.predict_grouped`), and
-each awaiting caller receives exactly its own slice of the result.
+as **one** grouped engine pass, and each awaiting caller receives
+exactly its own slice of the result.
 
-Everything runs on one asyncio event loop: queues need no locks, and
-the flush itself is synchronous numpy work (microseconds at serving
-batch sizes), so results are bit-identical to per-request evaluation
-— coalescing changes *when* rows are simulated, never *what* the
-engine computes.
+Execution happens in one of two tiers:
+
+In-process (``pool=None``)
+    The flush runs the engine synchronously on the event loop
+    (microseconds at serving batch sizes).  Simple, zero IPC — but a
+    long pass blocks every other model's tick.
+Worker pool (``pool=``:class:`~repro.serve.pool.WorkerPool`)
+    The flush stacks the queue into one matrix and dispatches it to a
+    worker process; the loop keeps serving while workers burn CPU.
+    Results are distributed back on the loop when the dispatch lands.
+
+Either way, coalescing changes *when* rows are simulated, never
+*what* the engine computes — outputs are bit-identical to per-request
+evaluation.
+
+Failures are classified, not conflated (callers turn these into HTTP
+statuses):
+
+``ValueError`` at enqueue
+    *This caller's* rows are malformed — raised from
+    :meth:`predict` before anything is queued; nobody else sees it.
+:class:`QueueSaturated` at enqueue
+    The model's queue (queued + in-flight rows) is at
+    ``max_queued_rows``; admitting more would grow latency without
+    bound.  The caller should retry after :attr:`~QueueSaturated.
+    retry_after_s`.
+:class:`DeadlineExceeded` while queued
+    The request sat in the queue past ``deadline_s``; it is answered
+    (503) immediately — *before* the batch flushes — and its rows are
+    excluded from the dispatch.
+:class:`ExecutionError` at flush
+    The engine or compile failed for the whole batch.  That is a
+    server-side failure (500) hitting every coalesced caller — it
+    must never be misreported as a caller's 400.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.serve.bundle import validate_rows
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import WorkerPool
 from repro.serve.store import ModelStore
 from repro.sim.batch import simulate_rows_grouped
+
+
+class QueueSaturated(Exception):
+    """A model's queue is full; the request was rejected, not queued."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(Exception):
+    """A queued request aged out before its batch was dispatched."""
+
+
+class ExecutionError(Exception):
+    """Engine/compile failure at flush time — a server fault, never
+    attributable to any single caller's input."""
+
+
+@dataclass
+class _Pending:
+    """One queued request: its validated rows and how to answer it."""
+
+    mat: np.ndarray
+    future: "asyncio.Future[np.ndarray]"
+    timer: Optional[asyncio.TimerHandle] = field(default=None)
+
+    def settle_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
 
 
 class MicroBatcher:
@@ -41,6 +105,20 @@ class MicroBatcher:
         next loop iteration, after every already-scheduled enqueue.
     max_batch:
         Flush immediately once this many rows are queued for a model.
+    pool:
+        Optional :class:`~repro.serve.pool.WorkerPool`; flushes are
+        dispatched to worker processes instead of running inline.
+    max_queued_rows:
+        Per-model admission bound on queued + in-flight rows; beyond
+        it, :meth:`predict` raises :class:`QueueSaturated` instead of
+        queueing (``None`` = unbounded, the historical behavior).
+    deadline_s:
+        Maximum time a request may wait in the queue before being
+        answered with :class:`DeadlineExceeded` (``None`` = no
+        deadline).
+    metrics:
+        Optional :class:`~repro.serve.metrics.ServeMetrics` to record
+        batch sizes, rejections and execution errors into.
     """
 
     def __init__(
@@ -48,29 +126,89 @@ class MicroBatcher:
         store: ModelStore,
         tick_s: float = 0.002,
         max_batch: int = 4096,
+        pool: Optional[WorkerPool] = None,
+        max_queued_rows: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        metrics: Optional[ServeMetrics] = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_queued_rows is not None and max_queued_rows < 1:
+            raise ValueError("max_queued_rows must be >= 1 (or None)")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None)")
         self.store = store
         self.tick_s = tick_s
         self.max_batch = max_batch
-        self._queues: Dict[str, List[Tuple[np.ndarray, "asyncio.Future[np.ndarray]"]]] = {}
+        self.pool = pool
+        self.max_queued_rows = max_queued_rows
+        self.deadline_s = deadline_s
+        self.metrics = metrics
+        self._queues: Dict[str, List[_Pending]] = {}
         self._queued_rows: Dict[str, int] = {}
+        self._inflight_rows: Dict[str, int] = {}
         self._timers: Dict[str, asyncio.TimerHandle] = {}
         self.requests = 0
         self.batches = 0
         self.rows_served = 0
         self.max_coalesced = 0
+        self.rejected_saturated = 0
+        self.rejected_deadline = 0
+        self.execution_errors = 0
 
-    async def predict(self, name: str, rows: np.ndarray) -> np.ndarray:
-        """Queue ``rows`` for ``name``; resolves at the next flush."""
+    # -- admission ---------------------------------------------------
+
+    def pending_rows(self, name: str) -> int:
+        """Rows currently queued or dispatched-but-unanswered."""
+        return (
+            self._queued_rows.get(name, 0)
+            + self._inflight_rows.get(name, 0)
+        )
+
+    def queue_depths(self) -> Dict[str, int]:
+        """``{model: queued rows}`` for every non-empty queue."""
+        return {k: v for k, v in self._queued_rows.items() if v}
+
+    def inflight_depths(self) -> Dict[str, int]:
+        """``{model: in-flight rows}`` for every live dispatch."""
+        return {k: v for k, v in self._inflight_rows.items() if v}
+
+    async def predict(self, name: str, rows: Any) -> np.ndarray:
+        """Queue ``rows`` for ``name``; resolves at the next flush.
+
+        Raises ``KeyError`` for unknown models and ``ValueError`` for
+        malformed rows *before* anything is queued (per-request
+        errors), :class:`QueueSaturated` when the model's queue is at
+        capacity, :class:`DeadlineExceeded`/:class:`ExecutionError`
+        asynchronously via the returned future.
+        """
         name = self.store.resolve(name)
-        circuit = self.store.load(name)
-        mat = circuit.validate_rows(rows)  # raise *before* enqueueing
+        # Validation needs only the model's interface, which the
+        # catalogue serves without compiling — in pool mode the parent
+        # never needs the compiled circuit at all.
+        info = self.store.info(name)
+        mat = validate_rows(rows, info.n_inputs, name)
+        if self.max_queued_rows is not None and (
+            self.pending_rows(name) + mat.shape[0] > self.max_queued_rows
+        ):
+            self.rejected_saturated += 1
+            if self.metrics is not None:
+                self.metrics.rejected_total.inc(label_value="saturated")
+            raise QueueSaturated(
+                f"model {name!r} is saturated "
+                f"({self.pending_rows(name)} rows pending, "
+                f"limit {self.max_queued_rows}); retry later",
+                retry_after_s=max(self.tick_s, 0.001) * 16,
+            )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[np.ndarray]" = loop.create_future()
+        entry = _Pending(mat, future)
+        if self.deadline_s is not None:
+            entry.timer = loop.call_later(
+                self.deadline_s, self._expire, name, entry
+            )
         queue = self._queues.setdefault(name, [])
-        queue.append((mat, future))
+        queue.append(entry)
         self._queued_rows[name] = self._queued_rows.get(name, 0) + mat.shape[0]
         self.requests += 1
         if self._queued_rows[name] >= self.max_batch:
@@ -79,31 +217,136 @@ class MicroBatcher:
             self._timers[name] = loop.call_later(self.tick_s, self._flush, name)
         return await future
 
+    def _expire(self, name: str, entry: _Pending) -> None:
+        """Deadline fired while the request was still queued: answer
+        its caller *now* and release its rows from the queue budget
+        (the flush will skip the already-settled future)."""
+        entry.timer = None
+        if entry.future.done():
+            return
+        self.rejected_deadline += 1
+        if self.metrics is not None:
+            self.metrics.rejected_total.inc(label_value="deadline")
+        self._queued_rows[name] = max(
+            0, self._queued_rows.get(name, 0) - entry.mat.shape[0]
+        )
+        entry.future.set_exception(DeadlineExceeded(
+            f"request for model {name!r} exceeded its "
+            f"{self.deadline_s}s queue deadline"
+        ))
+
+    # -- flush -------------------------------------------------------
+
     def _flush(self, name: str) -> None:
         timer = self._timers.pop(name, None)
         if timer is not None:
             timer.cancel()
         queue = self._queues.pop(name, [])
         self._queued_rows.pop(name, None)
-        if not queue:
+        # Deadline-expired (or otherwise settled) entries were already
+        # answered; their rows must not be simulated.
+        live = [e for e in queue if not e.future.done()]
+        for entry in live:
+            entry.settle_timer()
+        if not live:
             return
-        blocks = [rows for rows, _ in queue]
-        futures = [future for _, future in queue]
+        blocks = [e.mat for e in live]
+        total_rows = sum(b.shape[0] for b in blocks)
+        if self.pool is None:
+            self._flush_inline(name, live, blocks, total_rows)
+        else:
+            self._flush_to_pool(name, live, blocks, total_rows)
+
+    def _flush_inline(
+        self,
+        name: str,
+        live: List[_Pending],
+        blocks: List[np.ndarray],
+        total_rows: int,
+    ) -> None:
         try:
             # Blocks were validated at enqueue; go straight to the
             # engine instead of re-scanning them via predict_grouped.
             outs = simulate_rows_grouped(self.store.load(name).compiled, blocks)
-        except Exception as exc:  # propagate to every waiting caller
-            for future in futures:
-                if not future.done():
-                    future.set_exception(exc)
+        except Exception as exc:
+            self._fail_batch(live, name, exc)
             return
+        self._record_batch(len(live), total_rows)
+        for entry, out in zip(live, outs):
+            if not entry.future.done():
+                entry.future.set_result(out)
+
+    def _flush_to_pool(
+        self,
+        name: str,
+        live: List[_Pending],
+        blocks: List[np.ndarray],
+        total_rows: int,
+    ) -> None:
+        assert self.pool is not None
+        bundle = self.store.bundle(name)
+        stacked = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+        self._inflight_rows[name] = (
+            self._inflight_rows.get(name, 0) + total_rows
+        )
+        try:
+            dispatch = self.pool.submit(bundle.digest, bundle.aag_text, stacked)
+        except Exception as exc:  # pool already shut down, etc.
+            self._inflight_rows[name] -= total_rows
+            self._fail_batch(live, name, exc)
+            return
+
+        def _deliver(done: "asyncio.Future[np.ndarray]") -> None:
+            self._inflight_rows[name] = max(
+                0, self._inflight_rows.get(name, 0) - total_rows
+            )
+            exc = None if done.cancelled() else done.exception()
+            if done.cancelled() or exc is not None:
+                self._fail_batch(
+                    live, name,
+                    exc if exc is not None else RuntimeError("dispatch cancelled"),
+                )
+                return
+            merged = done.result()
+            self._record_batch(len(live), total_rows)
+            offset = 0
+            for entry in live:
+                k = entry.mat.shape[0]
+                if not entry.future.done():
+                    entry.future.set_result(merged[offset : offset + k])
+                offset += k
+
+        dispatch.add_done_callback(_deliver)
+
+    def _fail_batch(
+        self, live: List[_Pending], name: str, exc: BaseException
+    ) -> None:
+        """Answer every waiting caller with a *server-side* error.
+
+        The engine failing mid-flush is never any caller's fault —
+        wrap it as :class:`ExecutionError` so the HTTP layer reports
+        500, not a misleading per-request 400.
+        """
+        self.execution_errors += 1
+        if self.metrics is not None:
+            self.metrics.execution_errors_total.inc()
+        wrapped = ExecutionError(
+            f"engine pass for model {name!r} failed: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        wrapped.__cause__ = exc if isinstance(exc, Exception) else None
+        for entry in live:
+            if not entry.future.done():
+                entry.future.set_exception(wrapped)
+
+    def _record_batch(self, n_requests: int, n_rows: int) -> None:
         self.batches += 1
-        self.rows_served += sum(b.shape[0] for b in blocks)
-        self.max_coalesced = max(self.max_coalesced, len(queue))
-        for future, out in zip(futures, outs):
-            if not future.done():
-                future.set_result(out)
+        self.rows_served += n_rows
+        self.max_coalesced = max(self.max_coalesced, n_requests)
+        if self.metrics is not None:
+            self.metrics.batches_total.inc()
+            self.metrics.rows_served_total.inc(n_rows)
+            self.metrics.batch_rows.observe(n_rows)
 
     def flush_all(self) -> None:
         """Flush every pending queue now (shutdown hook)."""
@@ -117,6 +360,12 @@ class MicroBatcher:
             "batches": self.batches,
             "rows_served": self.rows_served,
             "max_coalesced": self.max_coalesced,
+            "rejected_saturated": self.rejected_saturated,
+            "rejected_deadline": self.rejected_deadline,
+            "execution_errors": self.execution_errors,
             "tick_s": self.tick_s,
             "max_batch": self.max_batch,
+            "max_queued_rows": self.max_queued_rows,
+            "deadline_s": self.deadline_s,
+            "workers": self.pool.workers if self.pool is not None else 0,
         }

@@ -10,6 +10,7 @@ predict call is a few whole-array numpy ops (see :mod:`repro.sim`).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -22,6 +23,46 @@ from repro.aig.aiger import loads_aag
 from repro.sim.batch import simulate_rows_grouped
 
 PathLike = Union[str, Path]
+
+
+def validate_rows(rows: Any, n_inputs: int, name: str) -> np.ndarray:
+    """Coerce ``rows`` to a strict ``(n, n_inputs)`` uint8 0/1 matrix.
+
+    Standalone so callers that know a model's interface (the
+    microbatcher reads it off the catalogue metadata) can validate at
+    enqueue time without holding — or compiling — the circuit itself.
+    Raises ``ValueError`` on anything that is not a clean 0/1 matrix
+    of the right width; see the inline comments for why each case is
+    rejected rather than coerced.
+    """
+    raw = np.asarray(rows)
+    # The uint8 cast would silently truncate 0.9 to 0; fractional
+    # (or NaN/inf) input is a caller bug, not a prediction.
+    if raw.dtype.kind == "f" and not np.all(np.equal(np.mod(raw, 1), 0)):
+        raise ValueError(
+            f"model {name!r} takes 0/1 rows, got fractional values"
+        )
+    try:
+        mat = raw.astype(np.uint8)
+    except (OverflowError, ValueError, TypeError):
+        raise ValueError(f"model {name!r} takes 0/1 rows") from None
+    if mat.ndim == 1:
+        mat = mat[None, :]
+    if mat.ndim != 2 or mat.shape[1] != n_inputs:
+        raise ValueError(
+            f"model {name!r} takes rows of "
+            f"{n_inputs} bits, got shape {tuple(mat.shape)}"
+        )
+    # Strictly 0/1: the packed representation encodes bit s at
+    # position s, so a stray 2 (or a negative wrapped to 255)
+    # would carry into a *neighbouring sample's* bit once rows are
+    # coalesced into one batch — garbage in one request must never
+    # touch another's output.
+    if mat.size and mat.max() > 1:
+        raise ValueError(
+            f"model {name!r} takes 0/1 rows, got value {int(mat.max())}"
+        )
+    return mat
 
 
 @dataclass(frozen=True)
@@ -75,38 +116,7 @@ class CompiledCircuit:
         return self.aig.num_outputs
 
     def validate_rows(self, rows: np.ndarray) -> np.ndarray:
-        raw = np.asarray(rows)
-        # The uint8 cast would silently truncate 0.9 to 0; fractional
-        # (or NaN/inf) input is a caller bug, not a prediction.
-        if raw.dtype.kind == "f" and not np.all(np.equal(np.mod(raw, 1), 0)):
-            raise ValueError(
-                f"model {self.info.name!r} takes 0/1 rows, got "
-                f"fractional values"
-            )
-        try:
-            mat = raw.astype(np.uint8)
-        except (OverflowError, ValueError, TypeError):
-            raise ValueError(
-                f"model {self.info.name!r} takes 0/1 rows"
-            ) from None
-        if mat.ndim == 1:
-            mat = mat[None, :]
-        if mat.ndim != 2 or mat.shape[1] != self.n_inputs:
-            raise ValueError(
-                f"model {self.info.name!r} takes rows of "
-                f"{self.n_inputs} bits, got shape {tuple(mat.shape)}"
-            )
-        # Strictly 0/1: the packed representation encodes bit s at
-        # position s, so a stray 2 (or a negative wrapped to 255)
-        # would carry into a *neighbouring sample's* bit once rows are
-        # coalesced into one batch — garbage in one request must never
-        # touch another's output.
-        if mat.size and mat.max() > 1:
-            raise ValueError(
-                f"model {self.info.name!r} takes 0/1 rows, got value "
-                f"{int(mat.max())}"
-            )
-        return mat
+        return validate_rows(rows, self.n_inputs, self.info.name)
 
     def predict(self, rows: np.ndarray) -> np.ndarray:
         """Evaluate ``(n_rows, n_inputs)`` 0/1 rows.
@@ -132,6 +142,23 @@ class CircuitBundle:
         self.metadata: Dict[str, Any] = dict(metadata or {})
         self._compiled: Optional[CompiledCircuit] = None
         self._info: Optional[ModelInfo] = None
+        self._digest: Optional[str] = None
+
+    @property
+    def digest(self) -> str:
+        """Content identity of the served circuit (SHA-256 of the text).
+
+        Two bundles with the same digest serve bit-identical circuits;
+        a different digest under the same model name means the store
+        now holds a *different* solution.  The model store's LRU and
+        the worker pool's per-process caches both key on this, so a
+        refreshed store can never keep serving a stale compile.
+        """
+        if self._digest is None:
+            self._digest = hashlib.sha256(
+                self.aag_text.encode("ascii")
+            ).hexdigest()
+        return self._digest
 
     @classmethod
     def from_files(

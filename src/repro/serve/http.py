@@ -4,9 +4,14 @@ A deliberately small HTTP/1.1 server (no third-party dependencies —
 ``asyncio.start_server`` plus hand-rolled request parsing) exposing:
 
 ``GET /healthz``
-    Liveness + uptime + batching/cache statistics.
+    Liveness + uptime + batching/cache/pool statistics.
 ``GET /models``
     The catalogue: one metadata object per servable model.
+``GET /metrics``
+    Prometheus text exposition: request counters by endpoint/status,
+    latency and batch-size histograms, queue depths, backpressure
+    rejections and store cache counters (see
+    :mod:`repro.serve.metrics`).
 ``POST /predict/{model}``
     Body ``{"rows": [[0,1,...], ...]}`` (or ``{"row": [0,1,...]}``
     for a single sample); responds ``{"model": ..., "rows": n,
@@ -14,7 +19,14 @@ A deliberately small HTTP/1.1 server (no third-party dependencies —
     ``AIG.simulate`` on the same rows — the handler only queues rows
     into the shared :class:`~repro.serve.batching.MicroBatcher`, which
     coalesces concurrent requests into one engine pass per model per
-    tick.
+    tick, executed inline (``workers=0``) or on a
+    :class:`~repro.serve.pool.WorkerPool` process (``workers>0``).
+
+Error statuses are *classified*: a malformed request is that
+caller's 400; a saturated queue or an expired queue deadline is a 503
+(with ``Retry-After`` when saturated); an engine failure mid-batch is
+a 500 for every coalesced caller — never a 400, because it was never
+their fault.
 
 Connections are keep-alive (HTTP/1.1 semantics), so request loops
 from one client don't pay a TCP handshake per row.  Bodies are capped
@@ -30,7 +42,14 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.serve.batching import MicroBatcher
+from repro.serve.batching import (
+    DeadlineExceeded,
+    ExecutionError,
+    MicroBatcher,
+    QueueSaturated,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import WorkerPool
 from repro.serve.store import ModelStore
 
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -43,20 +62,37 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 class HttpError(Exception):
-    """A handler error carrying its HTTP status."""
+    """A handler error carrying its HTTP status (+ extra headers)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers: Dict[str, str] = dict(headers or {})
 
 
 class ServeApp:
-    """Routes requests over one :class:`ModelStore` + microbatcher."""
+    """Routes requests over one :class:`ModelStore` + microbatcher.
+
+    ``workers=0`` (the default) keeps the historical single-process
+    server: engine passes run inline on the event loop.  ``workers>0``
+    builds a :class:`~repro.serve.pool.WorkerPool` that executes each
+    coalesced batch in a worker process holding its own compiled-
+    circuit LRU — the loop never blocks on the engine, so independent
+    models' ticks (and all connection I/O) proceed during a pass.
+    ``max_queued_rows``/``deadline_ms`` bound each model's queue (see
+    :mod:`repro.serve.batching` for the 503 semantics).
+    """
 
     def __init__(
         self,
@@ -65,15 +101,88 @@ class ServeApp:
         max_batch: int = 4096,
         cache_size: int = 32,
         sim_backend: Optional[str] = None,
+        workers: int = 0,
+        max_queued_rows: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
         if not isinstance(store, ModelStore):
             store = ModelStore(
                 store, cache_size=cache_size, sim_backend=sim_backend
             )
         self.store = store
-        self.batcher = MicroBatcher(store, tick_s=tick_s, max_batch=max_batch)
+        self.metrics = ServeMetrics()
+        self.pool: Optional[WorkerPool] = None
+        if workers > 0:
+            # Workers adopt the parent's *effective* backend — the
+            # same initializer pattern the contest runner uses.
+            self.pool = WorkerPool(
+                workers, sim_backend=store.sim_backend, cache_size=cache_size
+            )
+        self.batcher = MicroBatcher(
+            store,
+            tick_s=tick_s,
+            max_batch=max_batch,
+            pool=self.pool,
+            max_queued_rows=max_queued_rows,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+            metrics=self.metrics,
+        )
         self.started = time.monotonic()
         self.requests_handled = 0
+        self._attach_gauges()
+
+    def _attach_gauges(self) -> None:
+        """Render-time gauges over live component state."""
+        metrics = self.metrics
+        store = self.store
+        batcher = self.batcher
+        metrics.attach_gauge(
+            "uptime_seconds", "Seconds since the app was constructed.",
+            lambda: time.monotonic() - self.started,
+        )
+        metrics.attach_gauge(
+            "models", "Servable models in the catalogue.",
+            lambda: store.stats()["models"],  # type: ignore[arg-type]
+        )
+        metrics.attach_gauge(
+            "store_cache_entries", "Compiled circuits held in the LRU.",
+            lambda: len(store.cached_names()),
+        )
+        metrics.attach_gauge(
+            "store_cache_events",
+            "Store LRU counters (hits/misses/evictions/stale_evictions).",
+            lambda: {
+                "hits": store.hits,
+                "misses": store.misses,
+                "evictions": store.evictions,
+                "stale_evictions": store.stale_evictions,
+            },
+            label="event",
+        )
+        metrics.attach_gauge(
+            "queue_rows", "Rows waiting in each model's queue.",
+            batcher.queue_depths, label="model",
+        )
+        metrics.attach_gauge(
+            "inflight_rows",
+            "Rows dispatched to workers, not yet answered.",
+            batcher.inflight_depths, label="model",
+        )
+        metrics.attach_gauge(
+            "workers", "Worker processes (0 = in-process execution).",
+            lambda: self.pool.workers if self.pool is not None else 0,
+        )
+        metrics.attach_gauge(
+            "requests_handled", "Total HTTP requests answered.",
+            lambda: self.requests_handled,
+        )
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; safe with workers=0)."""
+        if self.pool is not None:
+            self.pool.shutdown()
 
     # -- endpoint bodies (JSON-object in, JSON-object out) -----------
 
@@ -84,6 +193,7 @@ class ServeApp:
             "sim_backend": self.store.sim_backend,
             "store": self.store.stats(),
             "batching": self.batcher.stats(),
+            "pool": self.pool.stats() if self.pool is not None else None,
         }
 
     def models(self) -> Dict[str, Any]:
@@ -107,13 +217,27 @@ class ServeApp:
             rows = [body["row"]]
         else:
             raise HttpError(400, 'body must carry "rows" or "row"')
+        start = time.monotonic()
         try:
-            # Conversion + strict 0/1 validation both live in
-            # CompiledCircuit.validate_rows (via the batcher), so the
-            # raw JSON value goes straight through.
+            # Conversion + strict 0/1 validation happen at enqueue
+            # (inside the batcher, before anything is queued), so a
+            # ValueError here is *this request's* malformed rows — a
+            # 400.  Flush-time failures arrive as the classified
+            # exceptions below and must not be blamed on the caller.
             outputs = await self.batcher.predict(name, rows)
+        except QueueSaturated as exc:
+            raise HttpError(
+                503, exc.message,
+                headers={"Retry-After": str(max(1, round(exc.retry_after_s)))},
+            ) from None
+        except DeadlineExceeded as exc:
+            raise HttpError(503, str(exc)) from None
+        except ExecutionError as exc:
+            raise HttpError(500, str(exc)) from None
         except (TypeError, ValueError, OverflowError) as exc:
             raise HttpError(400, f"rows are not a 0/1 matrix: {exc}") from None
+        finally:
+            self.metrics.predict_latency.observe(time.monotonic() - start)
         return {
             "model": name,
             "rows": int(outputs.shape[0]),
@@ -124,7 +248,8 @@ class ServeApp:
 
     async def dispatch(
         self, method: str, path: str, body_bytes: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        self.metrics.requests_total.inc(label_value=_endpoint_label(path))
         if path == "/healthz":
             if method != "GET":
                 raise HttpError(405, "use GET /healthz")
@@ -133,6 +258,10 @@ class ServeApp:
             if method != "GET":
                 raise HttpError(405, "use GET /models")
             return 200, self.models()
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, "use GET /metrics")
+            return 200, self.metrics.render()
         if path.startswith("/predict/"):
             if method != "POST":
                 raise HttpError(405, "use POST /predict/{model}")
@@ -162,15 +291,25 @@ class ServeApp:
                 if request is None:
                     break
                 method, path, headers, body_bytes = request
+                payload: Union[Dict[str, Any], str]
+                extra_headers: Optional[Dict[str, str]] = None
                 try:
                     status, payload = await self.dispatch(method, path, body_bytes)
                 except HttpError as exc:
                     status, payload = exc.status, {"error": exc.message}
+                    extra_headers = exc.headers or None
                 except Exception as exc:  # pragma: no cover - safety net
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
                 self.requests_handled += 1
+                self.metrics.responses_total.inc(label_value=str(status))
+                # Header *values* are case-insensitive for this token
+                # (RFC 9110: "Close" == "close"); _read_request already
+                # lowercased it so curl's "Connection: Close" actually
+                # closes instead of being mistaken for keep-alive.
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                writer.write(_encode_response(status, payload, keep_alive))
+                writer.write(
+                    _encode_response(status, payload, keep_alive, extra_headers)
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -214,7 +353,16 @@ async def _read_request(
             raise HttpError(400, "request headers too large")
         name, sep, value = raw.decode("latin-1").partition(":")
         if sep:
-            headers[name.strip().lower()] = value.strip()
+            field = name.strip().lower()
+            value = value.strip()
+            # Token-valued headers this server actually interprets are
+            # case-insensitive per RFC 9110; normalize them here so no
+            # comparison downstream can get the casing wrong again
+            # ("Connection: Close" must close, "Transfer-Encoding:
+            # Chunked" must 400).  Other values keep their case.
+            if field in ("connection", "transfer-encoding"):
+                value = value.lower()
+            headers[field] = value
     if "transfer-encoding" in headers:
         # No chunked decoding here; without this, the unread chunk
         # stream would desync the next keep-alive request.  The 400
@@ -233,13 +381,37 @@ async def _read_request(
     return method.upper(), path, headers, body
 
 
-def _encode_response(status: int, payload: Dict[str, Any], keep_alive: bool) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
+def _endpoint_label(path: str) -> str:
+    """Low-cardinality endpoint label for the request counter."""
+    if path.startswith("/predict/"):
+        return "/predict"
+    if path in ("/healthz", "/models", "/metrics"):
+        return path
+    return "other"
+
+
+def _encode_response(
+    status: int,
+    payload: Union[Dict[str, Any], str],
+    keep_alive: bool,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    if isinstance(payload, str):  # /metrics text exposition
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    extras = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in sorted((extra_headers or {}).items())
+    )
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extras}"
         f"\r\n"
     )
     return head.encode("latin-1") + body
@@ -255,13 +427,20 @@ async def start_async_server(
 async def serve_forever(app: ServeApp, host: str, port: int) -> None:
     server = await start_async_server(app, host, port)
     addr = server.sockets[0].getsockname()
+    tier = (
+        f"{app.pool.workers} worker process(es)"
+        if app.pool is not None else "in-process execution"
+    )
     print(
         f"repro serve: {len(app.store.names())} model(s) on "
         f"http://{addr[0]}:{addr[1]}  (tick {app.batcher.tick_s * 1e3:g} ms, "
-        f"max batch {app.batcher.max_batch})"
+        f"max batch {app.batcher.max_batch}, {tier})"
     )
-    async with server:
-        await server.serve_forever()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        app.close()
 
 
 class ServerHandle:
@@ -282,6 +461,11 @@ class ServerHandle:
         self._thread: Optional[threading.Thread] = None
 
     def __enter__(self) -> "ServerHandle":
+        # Spawn pool workers from *this* thread, before the server
+        # thread exists — forking under a live event-loop thread is
+        # where fork-safety problems breed.
+        if self.app.pool is not None:
+            self.app.pool.warm_up(timeout=60)
         ready = threading.Event()
 
         def run() -> None:
@@ -331,3 +515,4 @@ class ServerHandle:
             asyncio.run_coroutine_threadsafe(_graceful_stop(), loop)
         if self._thread is not None:
             self._thread.join(timeout=10)
+        self.app.close()

@@ -75,14 +75,25 @@ class ModelStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_evictions = 0
         self.refresh()
 
     # -- catalogue ---------------------------------------------------
 
     def refresh(self) -> None:
-        """(Re)scan the directory; keeps already-compiled models."""
+        """(Re)scan the directory; keeps still-valid compiled models.
+
+        An LRU entry survives a refresh only while it still serves the
+        *same circuit*: surviving by name alone is not enough, because
+        a run store that gained a better record for a benchmark now
+        maps that name to different ``.aag`` content.  Entries whose
+        bundle digest changed are invalidated (counted in
+        ``stale_evictions``) so the next load compiles the new winner
+        — a refresh must never leave a stale circuit serving.
+        """
         if not self.root.is_dir():
             raise FileNotFoundError(f"model store {self.root} is not a directory")
+        previous = self._bundles
         if (self.root / RECORDS_NAME).exists():
             self._bundles = self._scan_run_store()
         else:
@@ -94,8 +105,13 @@ class ModelStore:
                 f"files)"
             )
         for name in list(self._cache):
-            if name not in self._bundles:
+            bundle = self._bundles.get(name)
+            if bundle is None:
                 del self._cache[name]
+            elif name in previous and \
+                    bundle.digest != previous[name].digest:
+                del self._cache[name]
+                self.stale_evictions += 1
 
     def _scan_run_store(self) -> Dict[str, CircuitBundle]:
         store = RunStore(self.root)
@@ -159,6 +175,14 @@ class ModelStore:
         """
         return self._bundles[self.resolve(name)].info()
 
+    def bundle(self, name: str) -> CircuitBundle:
+        """The raw bundle (AIGER text + digest) behind a model.
+
+        What the worker pool ships to workers: the text to rebuild
+        from, the digest to cache by.  Does not compile anything.
+        """
+        return self._bundles[self.resolve(name)]
+
     def infos(self) -> List[ModelInfo]:
         return [self.info(name) for name in self.names()]
 
@@ -200,4 +224,5 @@ class ModelStore:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "stale_evictions": self.stale_evictions,
         }

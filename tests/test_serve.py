@@ -20,11 +20,17 @@ from repro.runner import contest_tasks, run_contest_tasks
 from repro.runner.store import RunStore, _solution_filename
 from repro.serve import (
     CircuitBundle,
+    DeadlineExceeded,
+    ExecutionError,
     MicroBatcher,
     ModelStore,
+    QueueSaturated,
     ServeApp,
     ServerHandle,
+    WorkerPool,
+    parse_metrics_text,
 )
+from repro.serve.metrics import MetricsRegistry
 from repro.serve.predict import format_outputs, predict_file, read_rows_file
 from repro.sim.batch import simulate_rows_grouped
 
@@ -570,3 +576,400 @@ def test_bundle_from_files_explicit_meta(tmp_path):
     assert bundle.compile() is circuit  # compiled exactly once
     bundle.drop_compiled()
     assert bundle.compile() is not circuit
+
+
+# ---------------------------------------------------------------------------
+# Error classification (flush failures are 500s, never a caller's 400)
+# ---------------------------------------------------------------------------
+
+
+def test_flush_failure_is_execution_error_for_all_callers(
+    model_store, monkeypatch
+):
+    """An engine fault mid-flush hits every coalesced caller as
+    ExecutionError — historically it leaked out as the next await's
+    bare exception and the HTTP layer blamed the caller with a 400."""
+    import repro.serve.batching as batching_mod
+
+    def boom(compiled, blocks):
+        raise RuntimeError("engine exploded")
+
+    monkeypatch.setattr(batching_mod, "simulate_rows_grouped", boom)
+    rows = _random_rows(4, 16, seed=1)
+
+    async def drive():
+        batcher = MicroBatcher(model_store, tick_s=0.01)
+        results = await asyncio.gather(
+            *(batcher.predict("ex74", rows[i]) for i in range(4)),
+            return_exceptions=True,
+        )
+        return batcher, results
+
+    batcher, results = asyncio.run(drive())
+    assert len(results) == 4
+    for result in results:
+        assert isinstance(result, ExecutionError)
+        assert "engine exploded" in str(result)
+    assert batcher.execution_errors == 1  # one batch, one fault
+    assert batcher.rows_served == 0
+
+
+def test_http_flush_failure_is_500_not_400(model_store, monkeypatch):
+    import repro.serve.batching as batching_mod
+
+    def boom(compiled, blocks):
+        raise RuntimeError("engine exploded")
+
+    monkeypatch.setattr(batching_mod, "simulate_rows_grouped", boom)
+    app = ServeApp(model_store, tick_s=0.002)
+    with ServerHandle(app) as handle:
+        status, body = _request(
+            handle, "POST", "/predict/ex74",
+            json.dumps({"row": [0] * 16}),
+        )
+    assert status == 500
+    assert "failed" in body["error"]
+    assert "0/1" not in body["error"]  # the old misclassification
+    # ...while a genuinely malformed request stays a 400: the bad rows
+    # never reach the (broken) engine because validation happens at
+    # enqueue time, not at flush time.
+    app2 = ServeApp(model_store, tick_s=0.002)
+    with ServerHandle(app2) as handle:
+        status, body = _request(
+            handle, "POST", "/predict/ex74",
+            json.dumps({"row": [2] * 16}),
+        )
+    assert status == 400 and "0/1" in body["error"]
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: saturation + deadlines (bounded queues, classified 503s)
+# ---------------------------------------------------------------------------
+
+
+def test_microbatcher_saturation_rejects_at_admission(model_store):
+    rows = _random_rows(8, 16, seed=6)
+
+    async def drive():
+        batcher = MicroBatcher(
+            model_store, tick_s=5.0, max_queued_rows=8
+        )
+        task = asyncio.ensure_future(batcher.predict("ex74", rows))
+        await asyncio.sleep(0)  # let the first request enqueue
+        assert batcher.pending_rows("ex74") == 8
+        # The queue is exactly at capacity: one more row must bounce.
+        with pytest.raises(QueueSaturated) as excinfo:
+            await batcher.predict("ex74", rows[:1])
+        assert excinfo.value.retry_after_s > 0
+        assert batcher.rejected_saturated == 1
+        # The admission bound held: never more than max_queued_rows.
+        assert batcher.pending_rows("ex74") == 8
+        batcher.flush_all()
+        out = await task  # the queued request was not stranded
+        return batcher, out
+
+    batcher, out = asyncio.run(drive())
+    expected = model_store.load("ex74").predict(rows)
+    assert np.array_equal(out, expected)
+    assert batcher.rows_served == 8
+
+
+def test_microbatcher_deadline_fires_before_flush(model_store):
+    async def drive():
+        # Deadline far shorter than the tick: the request must be
+        # answered by the deadline timer, not the (distant) flush.
+        batcher = MicroBatcher(model_store, tick_s=5.0, deadline_s=0.02)
+        with pytest.raises(DeadlineExceeded):
+            await batcher.predict("ex74", np.zeros((1, 16), dtype=np.uint8))
+        assert batcher.batches == 0  # answered *before* any flush
+        assert batcher.rejected_deadline == 1
+        assert batcher.pending_rows("ex74") == 0  # budget released
+        # The queue stays usable afterwards: flush skips settled
+        # futures and a fresh request still gets served.
+        batcher.deadline_s = None
+        task = asyncio.ensure_future(
+            batcher.predict("ex74", np.ones((1, 16), dtype=np.uint8))
+        )
+        await asyncio.sleep(0)
+        batcher.flush_all()
+        out = await task
+        return batcher, out
+
+    batcher, out = asyncio.run(drive())
+    assert out.shape[0] == 1 and batcher.rows_served == 1
+
+
+def test_http_saturation_returns_503_with_retry_after(model_store):
+    app = ServeApp(model_store, tick_s=1.0, max_queued_rows=4)
+    rows = _random_rows(4, 16, seed=8)
+    with ServerHandle(app) as handle:
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            # Fill the queue; the long tick parks it server-side.
+            first = pool.submit(
+                _request, handle, "POST", "/predict/ex74",
+                json.dumps({"rows": rows.tolist()}),
+            )
+            deadline = 1.0
+            while app.batcher.pending_rows("ex74") < 4 and deadline > 0:
+                import time as _time
+                _time.sleep(0.01)
+                deadline -= 0.01
+            conn = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+            try:
+                conn.request(
+                    "POST", "/predict/ex74",
+                    body=json.dumps({"row": [0] * 16}),
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 503
+                assert "saturated" in body["error"]
+                retry_after = response.getheader("Retry-After")
+                assert retry_after is not None and int(retry_after) >= 1
+            finally:
+                conn.close()
+            # The parked request rides out the tick and completes:
+            # saturation must shed new load, never strand queued work.
+            status, body = first.result(timeout=30)
+    assert status == 200
+    expected = model_store.load("ex74").predict(rows)
+    assert np.array_equal(
+        np.asarray(body["outputs"], dtype=np.uint8), expected
+    )
+
+
+def test_http_deadline_returns_503_before_flush(model_store):
+    app = ServeApp(model_store, tick_s=5.0, deadline_ms=30)
+    with ServerHandle(app) as handle:
+        status, body = _request(
+            handle, "POST", "/predict/ex74", json.dumps({"row": [1] * 16})
+        )
+    assert status == 503
+    assert "deadline" in body["error"]
+    assert app.batcher.batches == 0  # the 503 preceded any flush
+
+
+def test_metrics_reconcile_with_requests_handled(model_store):
+    app = ServeApp(model_store, tick_s=0.002)
+    with ServerHandle(app) as handle:
+        for _ in range(3):
+            assert _request(handle, "GET", "/healthz")[0] == 200
+        status, _ = _request(
+            handle, "POST", "/predict/ex74", json.dumps({"row": [0] * 16})
+        )
+        assert status == 200
+        status, _ = _request(
+            handle, "POST", "/predict/ex74",
+            json.dumps({"rows": [[2] * 16]}),  # 400 via enqueue validation
+        )
+        assert status == 400
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith("text/plain")
+            text = response.read().decode("utf-8")
+        finally:
+            conn.close()
+    metrics = parse_metrics_text(text)
+    # Every response sent so far is accounted for, by status...
+    by_status = {
+        key: value for key, value in metrics.items()
+        if key.startswith("repro_serve_http_responses_total{")
+    }
+    assert sum(by_status.values()) == metrics["repro_serve_requests_handled"]
+    assert by_status['repro_serve_http_responses_total{status="200"}'] == 4
+    assert by_status['repro_serve_http_responses_total{status="400"}'] == 1
+    # ...and the serving counters line up with the batcher's view.
+    assert metrics["repro_serve_rows_served_total"] == 1
+    assert metrics["repro_serve_batches_total"] == app.batcher.batches
+    assert metrics["repro_serve_predict_latency_seconds_count"] == 2
+    assert metrics['repro_serve_http_requests_total{endpoint="/predict"}'] == 2
+    assert metrics["repro_serve_workers"] == 0
+
+
+def test_metrics_instruments_unit():
+    reg = MetricsRegistry(prefix="t")
+    counter = reg.counter("hits", "Hits.", label="kind")
+    counter.inc(2, label_value="a")
+    counter.inc(label_value="b")
+    assert counter.total == 3 and counter.value("a") == 2
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    with pytest.raises(ValueError):
+        reg.counter("hits", "duplicate name")
+    gauge = reg.gauge("depth", "Depths.", label="q", callback=lambda: {"x": 2})
+    hist = reg.histogram("lat", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 2.0):
+        hist.observe(value)
+    assert hist.count == 4 and hist.bucket_counts == [1, 2, 1]
+    assert hist.quantile(0.5) == 1.0  # bucket upper-bound estimate
+    assert hist.quantile(0.99) == 1.0  # +Inf collapses to last bound
+    text = reg.render()
+    parsed = parse_metrics_text(text)
+    assert parsed['t_hits{kind="a"}'] == 2
+    assert parsed['t_depth{q="x"}'] == 2
+    assert parsed['t_lat_bucket{le="1.0"}'] == 3  # cumulative
+    assert parsed['t_lat_bucket{le="+Inf"}'] == 4
+    assert parsed["t_lat_count"] == 4
+    assert gauge.samples() == [({"q": "x"}, 2)]
+
+
+# ---------------------------------------------------------------------------
+# Connection header casing (RFC 9110: "Close" must close)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("token", ["close", "Close", "CLOSE"])
+def test_http_connection_close_any_casing(served, token):
+    import socket
+
+    with socket.create_connection((served.host, served.port), timeout=30) as s:
+        s.sendall(
+            f"GET /healthz HTTP/1.1\r\nConnection: {token}\r\n\r\n"
+            .encode("latin-1")
+        )
+        chunks = []
+        while True:  # server must close — recv drains to EOF
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks).decode("latin-1")
+    assert response.startswith("HTTP/1.1 200")
+    # The server echoed the close decision; "Connection: Close" being
+    # treated as keep-alive would hang this test at recv instead.
+    assert "connection: close" in response.lower()
+
+
+# ---------------------------------------------------------------------------
+# Store refresh invalidation (a better record must evict the stale plan)
+# ---------------------------------------------------------------------------
+
+
+def _append_record(store, key, name, accuracy, aag):
+    store.append(
+        {
+            "schema": 1,
+            "key": key,
+            "benchmark": 0,
+            "benchmark_name": name,
+            "flow": key.split(":")[1],
+            "seed": 0,
+            "legal": True,
+            "test_accuracy": accuracy,
+            "num_ands": 1,
+            "levels": 1,
+        },
+        aag=aag,
+    )
+
+
+def test_refresh_evicts_stale_compiled_entry(tmp_path):
+    """A refresh that changes a model's winning record must recompile:
+    keeping the old plan by name match alone serves a dead circuit."""
+    run_store = RunStore(tmp_path)
+    and_gate = AIG(2)
+    and_gate.set_output(and_gate.add_and(2, 4))
+    or_gate = AIG(2)
+    or_gate.set_output(or_gate.add_and(3, 5) ^ 1)  # OR via De Morgan
+    _append_record(run_store, "b000:flowA:s0", "ex00", 0.6, dumps_aag(and_gate))
+
+    ms = ModelStore(tmp_path)
+    rows = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+    assert np.array_equal(ms.load("ex00").predict(rows).ravel(), [0, 0, 0, 1])
+
+    # A better solution lands for the same benchmark...
+    _append_record(run_store, "b000:flowB:s0", "ex00", 0.9, dumps_aag(or_gate))
+    ms.refresh()
+    # ...and the stale AND plan is evicted, not served by name match.
+    assert ms.stats()["stale_evictions"] == 1
+    assert ms.cached_names() == []
+    assert np.array_equal(ms.load("ex00").predict(rows).ravel(), [0, 1, 1, 1])
+
+    # A refresh that changes nothing keeps the warm plan.
+    ms.refresh()
+    assert ms.stats()["stale_evictions"] == 1
+    assert ms.cached_names() == ["ex00"]
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool execution tier
+# ---------------------------------------------------------------------------
+
+
+def test_worker_pool_bit_identity(model_store, run_store_dir):
+    """A pool worker rebuilds from the AIGER text and returns outputs
+    bit-identical to in-process evaluation (same text, same backend)."""
+    with WorkerPool(1, sim_backend=model_store.sim_backend) as pool:
+        pool.warm_up(timeout=120)
+        for name in model_store.names():
+            bundle = model_store.bundle(name)
+            aig = _stored_winner_aig(run_store_dir, model_store, name)
+            rows = _random_rows(37, aig.n_inputs, seed=13)
+            got = pool.predict_sync(bundle.digest, bundle.aag_text, rows)
+            assert np.array_equal(got, aig.simulate(rows))
+        # Same digest again: served from the worker's LRU.
+        got = pool.predict_sync(bundle.digest, bundle.aag_text, rows[:5])
+        assert np.array_equal(got, aig.simulate(rows[:5]))
+        assert pool.stats()["dispatches"] == len(model_store.names()) + 1
+    with pytest.raises(ValueError):
+        WorkerPool(0)
+
+
+def test_http_with_workers_bit_identical(model_store, run_store_dir):
+    """The full stack — HTTP, coalescing, process dispatch, split —
+    must not change one output bit vs AIG.simulate."""
+    app = ServeApp(model_store, tick_s=0.002, workers=1)
+    with ServerHandle(app) as handle:
+        aig = _stored_winner_aig(run_store_dir, model_store, "ex74")
+        rows = _random_rows(16, 16, seed=21)
+        expected = aig.simulate(rows)
+
+        def one(i):
+            return i, _request(
+                handle, "POST", "/predict/ex74",
+                json.dumps({"row": rows[i].tolist()}),
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as tpool:
+            for i, (status, body) in tpool.map(one, range(len(rows))):
+                assert status == 200
+                assert np.array_equal(
+                    np.asarray(body["outputs"], dtype=np.uint8)[0],
+                    expected[i],
+                )
+        status, health = _request(handle, "GET", "/healthz")
+        assert status == 200
+        assert health["pool"]["workers"] == 1
+        assert health["pool"]["dispatches"] >= 1
+        assert health["batching"]["workers"] == 1
+        # Parent process never compiled: validation came off the
+        # catalogue, execution happened in the worker.
+        assert health["store"]["compiled"] == 0
+    # 400s stay classified with the pool on: malformed rows are
+    # rejected at enqueue and never reach a worker.
+    app2 = ServeApp(model_store, tick_s=0.002, workers=1)
+    with ServerHandle(app2) as handle:
+        status, body = _request(
+            handle, "POST", "/predict/ex74",
+            json.dumps({"rows": [[2] * 16]}),
+        )
+        assert status == 400 and "0/1" in body["error"]
+
+
+def test_serve_cli_parser_pool_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--store", "runs/x"])
+    assert args.workers == 0
+    assert args.max_queued_rows is None and args.deadline_ms is None
+    args = build_parser().parse_args([
+        "serve", "--store", "runs/x", "--workers", "4",
+        "--max-queued-rows", "4096", "--deadline-ms", "50",
+    ])
+    assert args.workers == 4
+    assert args.max_queued_rows == 4096 and args.deadline_ms == 50.0

@@ -203,7 +203,7 @@ class ContestRun:
 
 
 def run_contest(
-    benchmark_indices: Sequence[int],
+    benchmarks: Sequence[object],
     flows: Union[Dict[str, object], Sequence[str]],
     n_train: int = 1000,
     n_valid: int = 1000,
@@ -216,6 +216,7 @@ def run_contest(
     out_dir: Optional[str] = None,
     resume: bool = True,
     keep_solutions: bool = False,
+    shard: Optional[str] = None,
 ) -> ContestRun:
     """Execute a set of flows over a benchmark subset and score them.
 
@@ -227,6 +228,12 @@ def run_contest(
     on re-invocation (``resume=True``), so interrupted or extended
     runs never recompute finished work.
 
+    ``benchmarks`` entries may be suite indices (ints), registry
+    problem names / family spec strings (``"ex74"``,
+    ``"adder:width=48"``) or :class:`~repro.contest.registry.ProblemSpec`
+    objects; use ``DEFAULT_REGISTRY.select`` first to expand globs and
+    manifest files into specs.
+
     ``flows`` is a sequence of registry names / spec strings
     (``"team01"``, ``"portfolio"``, ``"team01:effort=full"`` — the
     registry is the source of truth, see :mod:`repro.flows.registry`)
@@ -235,12 +242,20 @@ def run_contest(
     workers can re-resolve them; purely in-process runs (``jobs=1``,
     no ``out_dir``) keep accepting arbitrary callables (lambdas,
     partials) and fall back to invoking them directly.
+
+    ``shard="k/N"`` runs only the grid subset owned by shard ``k``
+    (deterministic key-hash partition).  Run each shard into its own
+    ``out_dir`` and merge with :func:`repro.runner.merge_stores` or
+    report with :func:`merge_contest_runs` — the result is
+    byte-identical to the unsharded run.
     """
     from repro.runner import (
         contest_tasks,
         flow_name_for,
+        parse_shard,
         resolve_flow,
         run_contest_tasks,
+        shard_tasks,
     )
 
     if isinstance(flows, dict):
@@ -250,10 +265,10 @@ def run_contest(
                 for name, flow in flows.items()
             }
         except ValueError:
-            if jobs > 1 or out_dir is not None:
+            if jobs > 1 or out_dir is not None or shard is not None:
                 raise
             return _run_contest_inline(
-                benchmark_indices, flows, n_train=n_train, n_valid=n_valid,
+                benchmarks, flows, n_train=n_train, n_valid=n_valid,
                 n_test=n_test, effort=effort, master_seed=master_seed,
                 trials=trials, verbose=verbose,
             )
@@ -264,7 +279,7 @@ def run_contest(
             resolve_flow(name)
         flow_names = {name: name for name in flows}
     specs = contest_tasks(
-        benchmark_indices,
+        benchmarks,
         flow_names,
         n_train=n_train,
         n_valid=n_valid,
@@ -273,6 +288,9 @@ def run_contest(
         master_seed=master_seed,
         trials=trials,
     )
+    if shard is not None:
+        index, total = parse_shard(shard)
+        specs = shard_tasks(specs, index, total)
     return run_contest_tasks(
         specs,
         jobs=jobs,
@@ -283,8 +301,21 @@ def run_contest(
     )
 
 
+def merge_contest_runs(out_dirs: Sequence[str]) -> ContestRun:
+    """One :class:`ContestRun` from several run directories.
+
+    The in-memory counterpart of :func:`repro.runner.merge_stores`:
+    records from all directories (typically the stores of a sharded
+    run) are combined by task key — conflicting duplicates rejected —
+    and reconstructed in deterministic order.
+    """
+    from repro.runner import load_contest_runs
+
+    return load_contest_runs(out_dirs)
+
+
 def _run_contest_inline(
-    benchmark_indices: Sequence[int],
+    benchmarks: Sequence[object],
     flows: Dict[str, object],
     n_train: int,
     n_valid: int,
@@ -295,15 +326,18 @@ def _run_contest_inline(
     verbose: bool,
 ) -> ContestRun:
     """The pre-runner serial loop, kept for non-importable callables."""
-    from repro.contest import build_suite, evaluate_solution, make_problem
+    from repro.contest import DEFAULT_REGISTRY, evaluate_solution
 
-    suite = build_suite()
     scores_by_team: Dict[str, List[Score]] = {name: [] for name in flows}
-    for idx in benchmark_indices:
+    for entry in benchmarks:
+        if isinstance(entry, int):
+            spec = DEFAULT_REGISTRY.by_index(entry)
+        else:
+            spec = DEFAULT_REGISTRY.get(entry)
         for t in range(trials):
             seed = master_seed + t
-            problem = make_problem(
-                suite[idx], n_train=n_train, n_valid=n_valid,
+            problem = DEFAULT_REGISTRY.problem(
+                spec, n_train=n_train, n_valid=n_valid,
                 n_test=n_test, master_seed=seed,
             )
             for name, flow in flows.items():

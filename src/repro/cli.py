@@ -1,53 +1,75 @@
 """Command-line interface.
 
     python -m repro.cli run --benchmark 30 --flow team01
-    python -m repro.cli run --benchmark 74 --flow portfolio:flows=team07+team10
+    python -m repro.cli run --benchmark adder:width=48 --flow team10
     python -m repro.cli contest --benchmarks 0 30 74 --flows team01 team10 \
         --jobs 4 --out-dir runs/mini --trials 3
-    python -m repro.cli report --out-dir runs/mini
+    python -m repro.cli contest --benchmarks "adder*,ex8?" --flows team10
+    python -m repro.cli contest --benchmarks @suite.txt --shard 0/4 \
+        --out-dir runs/shard0
+    python -m repro.cli merge --from runs/shard0 runs/shard1 \
+        --out-dir runs/merged
+    python -m repro.cli report --out-dir runs/shard0 runs/shard1
     python -m repro.cli serve --store runs/mini --port 8080
     python -m repro.cli predict --store runs/mini --model ex74 \
         --input rows.txt --output preds.txt
     python -m repro.cli bench-sim --benchmark 74
     python -m repro.cli flows
-    python -m repro.cli list
+    python -m repro.cli list "adder*" --families
 
 Mirrors how a contest participant would drive the library: pick
 benchmarks, run flows, read the leaderboard.  Flows are resolved
 through the registry (:mod:`repro.flows.registry`), so ``--flow`` /
 ``--flows`` accept any registered name — including the ``portfolio``
 composite — or spec strings with overrides (``team01:effort=full``).
-``flows`` prints the registry with each flow's team, stages,
-techniques and effort grids.  ``contest`` fans the task grid out over
-``--jobs`` worker processes and (with ``--out-dir``) persists every
-completed task, skipping already-stored ones on re-invocation;
-``report`` rebuilds the tables from such a run directory without
-executing anything.  ``serve`` loads the best stored solution per
-benchmark (a contest run with ``--keep-solutions``, or any directory
-of ``.aag`` files) and answers batched ``/predict/{model}`` HTTP
-requests; ``predict`` runs the same models offline on a rows file
-(see :mod:`repro.serve`).  ``contest``, ``serve`` and ``predict``
-accept ``--sim-backend`` to pick the simulation executor (numpy,
-fused or numba — see :mod:`repro.sim.backend`); ``bench-sim`` times
-every backend on one learned circuit and checks bit-agreement.
+Benchmarks resolve through the *problem* registry
+(:mod:`repro.contest.registry`): suite indices, registered names
+(``ex74``), family spec strings (``adder:width=48``), globs over
+names / families / categories (``"adder*,ex8?"``) and ``@file`` suite
+manifests (one selector per line) are all valid wherever a benchmark
+is named.  ``flows`` prints the flow registry; ``list`` prints the
+matching problems (``--families`` for the generator families).
+``contest`` fans the task grid out over ``--jobs`` worker processes
+and (with ``--out-dir``) persists every completed task, skipping
+already-stored ones on re-invocation; ``--shard k/N`` runs only a
+deterministic key-hashed subset so N machines can split one grid into
+independent store directories, reassembled by ``merge`` (byte-identical
+to an unsharded run) or reported directly by passing several
+directories to ``report``.  ``serve`` loads the best stored solution
+per benchmark (a contest run with ``--keep-solutions``, or any
+directory of ``.aag`` files) and answers batched ``/predict/{model}``
+HTTP requests; ``predict`` runs the same models offline on a rows
+file (see :mod:`repro.serve`).  ``contest``, ``serve`` and
+``predict`` accept ``--sim-backend`` to pick the simulation executor
+(numpy, fused or numba — see :mod:`repro.sim.backend`); ``bench-sim``
+times every backend on one learned circuit and checks bit-agreement.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis import format_table3, run_contest
-from repro.contest import build_suite, evaluate_solution, make_problem
+from repro.contest import DEFAULT_REGISTRY, evaluate_solution
 
 
-def _validated_indices(parser, indices) -> None:
-    n = len(build_suite())
-    for idx in indices:
-        if not 0 <= idx < n:
-            parser.error(
-                f"benchmark index {idx} out of range 0..{n - 1}"
-            )
+def _selected_specs(parser, patterns) -> List[object]:
+    """Resolve benchmark selectors through the problem registry.
+
+    Unknown names carry the registry's near-match suggestions into the
+    argparse error (e.g. ``unknown benchmark 'ex9a' ... did you mean
+    'ex90', 'ex91'?``).
+    """
+    try:
+        specs = DEFAULT_REGISTRY.select(patterns)
+    except (KeyError, IndexError, ValueError) as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+    if not specs:
+        parser.error(
+            f"benchmark selector {list(patterns)!r} matched nothing"
+        )
+    return specs
 
 
 def _resolved_flow(parser, spec: str):
@@ -60,12 +82,22 @@ def _resolved_flow(parser, spec: str):
         parser.error(str(exc))
 
 
-def _cmd_list(args) -> None:
-    suite = build_suite()
-    for spec in suite:
+def _cmd_list(parser, args) -> None:
+    if args.families:
+        for name in DEFAULT_REGISTRY.family_names():
+            family = DEFAULT_REGISTRY.families[name]
+            params = ", ".join(
+                f"{p}=<required>" if d is None else f"{p}={d!r}"
+                for p, d in family.param_summary()
+            )
+            print(f"{name:<12} [{family.category:13s}] "
+                  f"{family.description}")
+            print(f"{'':<12} params: {params or '-'}")
+        return
+    specs = _selected_specs(parser, args.patterns or ["*"])
+    for spec in specs:
         print(f"{spec.name}  [{spec.category:13s}] "
               f"{spec.n_inputs:4d} inputs  {spec.description}")
-    del args
 
 
 def _cmd_flows(parser, args) -> None:
@@ -88,11 +120,15 @@ def _cmd_flows(parser, args) -> None:
 
 
 def _cmd_run(parser, args) -> None:
-    _validated_indices(parser, [args.benchmark])
+    specs = _selected_specs(parser, [args.benchmark])
+    if len(specs) != 1:
+        parser.error(
+            f"--benchmark {args.benchmark!r} selects {len(specs)} "
+            f"problems; 'run' takes exactly one (use 'contest' for sets)"
+        )
     flow = _resolved_flow(parser, args.flow)
-    suite = build_suite()
-    problem = make_problem(
-        suite[args.benchmark], n_train=args.samples,
+    problem = DEFAULT_REGISTRY.problem(
+        specs[0], n_train=args.samples,
         n_valid=args.samples, n_test=args.samples,
         master_seed=args.seed,
     )
@@ -133,16 +169,24 @@ def _add_sim_backend_arg(sub_parser) -> None:
 
 
 def _cmd_contest(parser, args) -> None:
-    _validated_indices(parser, args.benchmarks)
+    benchmarks = _selected_specs(parser, args.benchmarks)
     _apply_sim_backend(parser, args.sim_backend)
     for spec in args.flows:
         _resolved_flow(parser, spec)
+    if args.shard is not None:
+        from repro.runner import parse_shard
+
+        try:
+            parse_shard(args.shard)
+        except ValueError as exc:
+            parser.error(str(exc))
     run = run_contest(
-        args.benchmarks, list(args.flows), n_train=args.samples,
+        benchmarks, list(args.flows), n_train=args.samples,
         n_valid=args.samples, n_test=args.samples,
         effort=args.effort, master_seed=args.seed, verbose=True,
         jobs=args.jobs, trials=args.trials, out_dir=args.out_dir,
         resume=args.resume, keep_solutions=args.keep_solutions,
+        shard=args.shard,
     )
     print()
     print(format_table3(run.table3()))
@@ -160,18 +204,37 @@ def _format_win_rates(wins) -> str:
 
 
 def _cmd_report(parser, args) -> None:
-    from repro.runner import load_contest_run
+    from repro.runner import load_contest_runs
 
     try:
-        run = load_contest_run(args.out_dir)
-    except FileNotFoundError as exc:
+        run = load_contest_runs(args.out_dir)
+    except (FileNotFoundError, ValueError) as exc:
         parser.error(str(exc))
     n_scores = sum(len(v) for v in run.scores_by_team.values())
-    print(f"run directory: {args.out_dir}")
+    shown = ", ".join(args.out_dir)
+    label = "run directory" if len(args.out_dir) == 1 \
+        else f"merged from {len(args.out_dir)} run directories"
+    print(f"{label}: {shown}")
     print(f"{len(run.scores_by_team)} teams, {n_scores} stored scores\n")
     print(format_table3(run.table3()))
     print()
     print(_format_win_rates(run.win_rates()))
+
+
+def _cmd_merge(parser, args) -> None:
+    from repro.runner import RunStore, merge_stores
+
+    for src in args.sources:
+        if not RunStore(src).records_path.exists():
+            parser.error(f"no records found under {src}")
+    try:
+        store = merge_stores(args.sources, args.out_dir)
+    except ValueError as exc:
+        parser.error(str(exc))
+    n = len(store.load_records())
+    print(f"merged {len(args.sources)} run directories -> {store.root} "
+          f"({n} records)")
+    print(f"report with: repro report --out-dir {store.root}")
 
 
 def _cmd_serve(parser, args) -> None:
@@ -223,11 +286,15 @@ def _cmd_bench_sim(parser, args) -> None:
 
     from repro.sim import CompiledAIG, SimProgram, available_backends, backend_names
 
-    _validated_indices(parser, [args.benchmark])
+    specs = _selected_specs(parser, [args.benchmark])
+    if len(specs) != 1:
+        parser.error(
+            f"--benchmark {args.benchmark!r} selects {len(specs)} "
+            f"problems; 'bench-sim' takes exactly one"
+        )
     flow = _resolved_flow(parser, args.flow)
-    suite = build_suite()
-    problem = make_problem(
-        suite[args.benchmark], n_train=args.samples,
+    problem = DEFAULT_REGISTRY.problem(
+        specs[0], n_train=args.samples,
         n_valid=args.samples, n_test=args.samples,
         master_seed=args.seed,
     )
@@ -293,7 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the 100 benchmarks")
+    list_p = sub.add_parser(
+        "list", help="list benchmarks from the problem registry")
+    list_p.add_argument(
+        "patterns", nargs="*", metavar="PATTERN",
+        help="selectors: names, indices, globs (adder*, 'ex8?'), "
+             "family specs (adder:width=48), @manifest files "
+             "(default: every registered benchmark)")
+    list_p.add_argument(
+        "--families", action="store_true",
+        help="list the generator families and their parameters instead")
 
     flows_p = sub.add_parser(
         "flows", help="list the registered flows (teams, stages, "
@@ -304,7 +380,10 @@ def build_parser() -> argparse.ArgumentParser:
              "print the result instead of listing")
 
     run_p = sub.add_parser("run", help="run one flow on one benchmark")
-    run_p.add_argument("--benchmark", type=int, required=True)
+    run_p.add_argument(
+        "--benchmark", required=True,
+        help="suite index, registered name (ex74) or family spec "
+             "string (adder:width=48)")
     run_p.add_argument(
         "--flow", required=True,
         help="registry name or spec string (see 'repro flows'); e.g. "
@@ -318,8 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the solution AIG (.aag) here")
 
     contest_p = sub.add_parser("contest", help="run a mini contest")
-    contest_p.add_argument("--benchmarks", type=int, nargs="+",
-                           required=True)
+    contest_p.add_argument(
+        "--benchmarks", nargs="+", required=True, metavar="SELECTOR",
+        help="indices, names, family specs (adder:width=48), globs "
+             "('adder*,ex8?' — quote them) or @manifest files")
     contest_p.add_argument(
         "--flows", nargs="+", default=_default_contest_flows(),
         metavar="FLOW",
@@ -341,12 +422,29 @@ def build_parser() -> argparse.ArgumentParser:
                            help="recompute even already-stored tasks")
     contest_p.add_argument("--keep-solutions", action="store_true",
                            help="also store each solution as .aag")
+    contest_p.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="run only shard K of an N-way deterministic split of the "
+             "grid (run each shard into its own --out-dir, then "
+             "'repro merge')")
     _add_sim_backend_arg(contest_p)
 
     report_p = sub.add_parser(
-        "report", help="rebuild tables from a stored run (no execution)")
-    report_p.add_argument("--out-dir", required=True,
-                          help="run directory written by 'contest'")
+        "report", help="rebuild tables from stored runs (no execution)")
+    report_p.add_argument(
+        "--out-dir", required=True, nargs="+", metavar="DIR",
+        help="run director(ies) written by 'contest'; several "
+             "directories (e.g. shard stores) are merged in memory")
+
+    merge_p = sub.add_parser(
+        "merge", help="combine sharded run directories into one store")
+    merge_p.add_argument(
+        "--from", dest="sources", required=True, nargs="+", metavar="DIR",
+        help="source run directories (the shards)")
+    merge_p.add_argument(
+        "--out-dir", required=True,
+        help="destination run directory (byte-identical records to an "
+             "unsharded run)")
 
     serve_p = sub.add_parser(
         "serve", help="serve stored solutions over HTTP "
@@ -391,8 +489,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p = sub.add_parser(
         "bench-sim", help="compare simulation backends on one learned "
                           "suite circuit (timing + agreement)")
-    bench_p.add_argument("--benchmark", type=int, default=74,
-                         help="suite index to learn a probe circuit on")
+    bench_p.add_argument("--benchmark", default="74",
+                         help="suite index, name or family spec to "
+                              "learn a probe circuit on")
     bench_p.add_argument("--flow", default="team01",
                          help="flow that learns the probe circuit")
     bench_p.add_argument("--samples", type=int, default=256,
@@ -409,7 +508,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        _cmd_list(args)
+        _cmd_list(parser, args)
     elif args.command == "flows":
         _cmd_flows(parser, args)
     elif args.command == "run":
@@ -418,6 +517,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         _cmd_contest(parser, args)
     elif args.command == "report":
         _cmd_report(parser, args)
+    elif args.command == "merge":
+        _cmd_merge(parser, args)
     elif args.command == "serve":
         _cmd_serve(parser, args)
     elif args.command == "predict":

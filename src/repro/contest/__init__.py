@@ -1,14 +1,26 @@
 """The IWLS 2020 contest: benchmarks, problems and scoring.
 
-``suite`` builds the 100-benchmark set of Table I (with documented
-synthetic substitutions for the PicoJava / MCNC / MNIST / CIFAR
-assets); ``problem`` defines the train/validation/test triple handed
-to the team flows; ``evaluate`` scores solutions the way the contest
-did (test accuracy, 5000-AND cap, ties broken by size).
+``registry`` is the source of truth for benchmarks: named specs
+(``ex00``..``ex99``, the paper's Table I grid) plus parameterized
+generator families (``adder:width=48``, ``cone:inputs=120,seed=7``)
+materialized lazily through a bounded cache; ``suite`` keeps the
+historical index-addressed ``build_suite()``/``make_problem()``
+interface as a byte-identical shim; ``problem`` defines the
+train/validation/test triple handed to the team flows; ``evaluate``
+scores solutions the way the contest did (test accuracy, 5000-AND
+cap, ties broken by size).
 """
 
 from repro.contest.problem import LearningProblem, Solution
 from repro.contest.evaluate import Score, evaluate_solution
+from repro.contest.registry import (
+    DEFAULT_REGISTRY,
+    GeneratorFamily,
+    MaterialCache,
+    ProblemRegistry,
+    ProblemSpec,
+    clear_cache,
+)
 from repro.contest.suite import (
     BenchmarkSpec,
     build_suite,
@@ -25,4 +37,10 @@ __all__ = [
     "build_suite",
     "default_small_indices",
     "make_problem",
+    "DEFAULT_REGISTRY",
+    "GeneratorFamily",
+    "MaterialCache",
+    "ProblemRegistry",
+    "ProblemSpec",
+    "clear_cache",
 ]

@@ -55,16 +55,27 @@ def random_cone_function(
     flavour: str = "control",
     seed: int = 0,
     balance_range=(0.35, 0.65),
+    density: int = 3,
 ) -> Callable[[np.ndarray], np.ndarray]:
     """A balanced random logic-cone labelling function.
 
     Resamples (new derived seeds) until the cone output is balanced on
-    a 2048-sample probe, then freezes the cone.
+    a 2048-sample probe, then freezes the cone.  ``density`` scales the
+    node budget (``max(24, density * n_inputs)``) — the registry's
+    swept-entropy knob: denser cones mix inputs more and are harder to
+    learn.  The paper's cones use the default density 3, whose RNG
+    stream is unchanged; other densities derive their own stream.
     """
     lo, hi = balance_range
-    n_nodes = max(24, 3 * n_inputs)
+    if density < 1:
+        raise ValueError("density must be >= 1")
+    n_nodes = max(24, density * n_inputs)
     for attempt in range(200):
-        rng = rng_for("randomlogic", flavour, n_inputs, seed, attempt)
+        if density == 3:
+            rng = rng_for("randomlogic", flavour, n_inputs, seed, attempt)
+        else:
+            rng = rng_for("randomlogic", flavour, n_inputs, seed,
+                          attempt, "d", density)
         aig = _random_cone(n_inputs, n_nodes, flavour, rng)
         probe = rng.integers(0, 2, size=(2048, n_inputs)).astype(np.uint8)
         frac = float(aig.simulate(probe)[:, 0].mean())

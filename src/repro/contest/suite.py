@@ -1,4 +1,4 @@
-"""The 100-benchmark suite of Table I.
+"""The 100-benchmark suite of Table I — now a registry shim.
 
 ======  ==========================================================
 ex      contents
@@ -20,6 +20,19 @@ Benchmarks 50-99 use documented synthetic substitutions (DESIGN.md
 section 3).  Sampling follows the contest: 6400 train + 6400
 validation + 6400 test rows, drawn without replacement where the input
 space allows.
+
+.. deprecated::
+    ``build_suite()`` / ``make_problem()`` are thin shims over
+    :mod:`repro.contest.registry` kept for the historical
+    index-addressed interface; their outputs are byte-identical to the
+    pre-registry implementation (pinned by the golden fingerprint
+    tests).  New code should resolve problems through
+    ``repro.contest.registry.DEFAULT_REGISTRY`` — named specs,
+    parameterized generator families, glob selection — and sample via
+    ``DEFAULT_REGISTRY.problem(spec, ...)``.  Unlike the old eager
+    tuple, the shim holds no datasets and no generator state: heavy
+    materializations (random cones, image models) live in the
+    registry's bounded, clearable cache.
 """
 
 from __future__ import annotations
@@ -30,28 +43,38 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.contest import functions as fns
-from repro.contest.imagelike import (
-    cifar_like_model,
-    group_comparison_sampler,
-    mnist_like_model,
-)
 from repro.contest.problem import LearningProblem
-from repro.contest.randomlogic import random_cone_function
+from repro.contest.registry import (
+    DEFAULT_REGISTRY,
+    ProblemSpec,
+    unique_uniform_rows,
+)
 from repro.ml.dataset import Dataset
 from repro.utils.rng import rng_for
 
-ADDER_WIDTHS = (16, 32, 64, 128, 256)
-DIVIDER_WIDTHS = (16, 32, 64, 128, 256)
-MULTIPLIER_WIDTHS = (8, 16, 32, 64, 128)
-COMPARATOR_WIDTHS = tuple(range(10, 101, 10))
-SQRT_WIDTHS = (16, 32, 64, 128, 256)
-CONE_INPUTS = (16, 32, 57, 83, 108, 134, 159, 185, 200, 24)
+# Historical grid constants, re-exported from the registry.
+from repro.contest.registry import (  # noqa: F401  (public re-exports)
+    ADDER_WIDTHS,
+    COMPARATOR_WIDTHS,
+    CONE_INPUTS,
+    DIVIDER_WIDTHS,
+    MULTIPLIER_WIDTHS,
+    SQRT_WIDTHS,
+)
+
+# Backwards-compatible alias (the old private name).
+_unique_uniform_rows = unique_uniform_rows
 
 
 @dataclass
 class BenchmarkSpec:
-    """One contest benchmark: a named sampling procedure."""
+    """One contest benchmark: a named sampling procedure.
+
+    Kept as the ``build_suite()`` element type for compatibility.  The
+    ``label_fn``/``sampler`` slots are lazy proxies into the registry's
+    bounded materialization cache — constructing the suite builds
+    nothing and pins nothing.
+    """
 
     index: int
     category: str
@@ -72,211 +95,58 @@ class BenchmarkSpec:
         """Draw ``n`` labelled samples."""
         if self.sampler is not None:
             return self.sampler(n, rng)
-        X = _unique_uniform_rows(self.n_inputs, n, rng)
+        X = unique_uniform_rows(self.n_inputs, n, rng)
         return X, self.label_fn(X)
 
 
-def _unique_uniform_rows(
-    n_inputs: int, n: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Uniform random distinct input rows.
+class _RegistryLabelFn:
+    """Label-function proxy: materializes through the registry cache."""
 
-    For wide inputs collisions are essentially impossible and we skip
-    the dedup; for narrow inputs we sample integers without
-    replacement from the full space when it is small enough.
-    """
-    space = 2.0**n_inputs
-    if n_inputs <= 40:
-        if space <= 4 * n:
-            chosen = rng.choice(int(space), size=min(n, int(space)),
-                                replace=False)
-        else:
-            seen = set()
-            while len(seen) < n:
-                draw = rng.integers(0, int(space), size=n)
-                for v in draw:
-                    seen.add(int(v))
-                    if len(seen) == n:
-                        break
-            chosen = np.fromiter(seen, dtype=np.int64, count=n)
-        # Python set iteration leaks value order for small ints, which
-        # would skew the train/valid/test split; shuffle explicitly.
-        chosen = chosen[rng.permutation(len(chosen))]
-        X = np.zeros((len(chosen), n_inputs), dtype=np.uint8)
-        for i in range(n_inputs):
-            X[:, i] = (chosen >> i) & 1
-        return X
-    return rng.integers(0, 2, size=(n, n_inputs)).astype(np.uint8)
+    __slots__ = ("_spec",)
+
+    def __init__(self, spec: ProblemSpec):
+        self._spec = spec
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        return DEFAULT_REGISTRY.materialize(self._spec).label_fn(X)
 
 
-def _lazy(builder):
-    """Defer label-function construction until first sampling."""
+class _RegistrySampler:
+    """Sampler proxy: materializes through the registry cache."""
 
-    class _LazyFn:
-        def __init__(self):
-            self._fn = None
+    __slots__ = ("_spec", "n_inputs")
 
-        def __call__(self, X):
-            if self._fn is None:
-                self._fn = builder()
-            return self._fn(X)
+    def __init__(self, spec: ProblemSpec):
+        self._spec = spec
+        self.n_inputs = spec.n_inputs
 
-    return _LazyFn()
+    def __call__(self, n: int, rng: np.random.Generator):
+        return DEFAULT_REGISTRY.materialize(self._spec).sampler(n, rng)
+
+
+def _shim_spec(spec: ProblemSpec) -> BenchmarkSpec:
+    generative = DEFAULT_REGISTRY.families[spec.family].generative
+    return BenchmarkSpec(
+        index=spec.index,
+        category=spec.category,
+        description=spec.description,
+        n_inputs=spec.n_inputs,
+        label_fn=None if generative else _RegistryLabelFn(spec),
+        sampler=_RegistrySampler(spec) if generative else None,
+    )
 
 
 @lru_cache(maxsize=1)
 def build_suite() -> Tuple[BenchmarkSpec, ...]:
-    """All 100 benchmark specs, index-aligned with the paper."""
-    specs: List[BenchmarkSpec] = []
+    """All 100 paper benchmark specs, index-aligned with the paper.
 
-    # ex00-09: two MSBs of adders.
-    for i, k in enumerate(ADDER_WIDTHS):
-        for j, bit in enumerate((k, k - 1)):  # MSB (carry), 2nd MSB
-            specs.append(
-                BenchmarkSpec(
-                    index=2 * i + j,
-                    category="adder",
-                    description=f"bit {bit} of {k}-bit adder",
-                    n_inputs=2 * k,
-                    label_fn=fns.adder_bit(k, bit),
-                )
-            )
-
-    # ex10-19: divider quotient/remainder MSBs.
-    for i, k in enumerate(DIVIDER_WIDTHS):
-        for j, part in enumerate(("quotient", "remainder")):
-            specs.append(
-                BenchmarkSpec(
-                    index=10 + 2 * i + j,
-                    category="divider",
-                    description=f"{part} MSB of {k}-bit divider",
-                    n_inputs=2 * k,
-                    label_fn=fns.divider_bit(k, part),
-                )
-            )
-
-    # ex20-29: multiplier MSB and middle bit.
-    for i, k in enumerate(MULTIPLIER_WIDTHS):
-        for j, bit in enumerate((2 * k - 1, k - 1)):
-            specs.append(
-                BenchmarkSpec(
-                    index=20 + 2 * i + j,
-                    category="multiplier",
-                    description=f"bit {bit} of {k}-bit multiplier",
-                    n_inputs=2 * k,
-                    label_fn=fns.multiplier_bit(k, bit),
-                )
-            )
-
-    # ex30-39: comparators.
-    for i, k in enumerate(COMPARATOR_WIDTHS):
-        specs.append(
-            BenchmarkSpec(
-                index=30 + i,
-                category="comparator",
-                description=f"{k}-bit comparator (a > b)",
-                n_inputs=2 * k,
-                label_fn=fns.comparator(k),
-            )
-        )
-
-    # ex40-49: square-rooter LSB / middle bit.
-    for i, k in enumerate(SQRT_WIDTHS):
-        for j, which in enumerate(("lsb", "mid")):
-            specs.append(
-                BenchmarkSpec(
-                    index=40 + 2 * i + j,
-                    category="sqrt",
-                    description=f"{which} bit of {k}-bit square-rooter",
-                    n_inputs=k,
-                    label_fn=fns.sqrt_bit(k, which),
-                )
-            )
-
-    # ex50-59: PicoJava-like control cones (substitution).
-    for i, n in enumerate(CONE_INPUTS):
-        specs.append(
-            BenchmarkSpec(
-                index=50 + i,
-                category="picojava-like",
-                description=f"balanced random control cone, {n} inputs",
-                n_inputs=n,
-                label_fn=_lazy(
-                    lambda n=n, i=i: random_cone_function(n, "control", i)
-                ),
-            )
-        )
-
-    # ex60-69: i10-like mixed cones (substitution).
-    for i, n in enumerate(CONE_INPUTS):
-        specs.append(
-            BenchmarkSpec(
-                index=60 + i,
-                category="i10-like",
-                description=f"balanced random mixed cone, {n} inputs",
-                n_inputs=n,
-                label_fn=_lazy(
-                    lambda n=n, i=i: random_cone_function(n, "mixed", i)
-                ),
-            )
-        )
-
-    # ex70-74: MCNC singles.
-    mcnc: List[Tuple[str, Callable]] = [
-        ("cordic output 0 (sin threshold)", fns.cordic_sign(output="sin_ge")),
-        ("cordic output 1 (cos threshold)", fns.cordic_sign(output="cos_ge")),
-        ("too_large-like wide SOP", fns.wide_sop_like(seed=2)),
-        ("t481-like structured function", fns.t481_like()),
-        ("16-input parity", fns.parity(16)),
+    Deprecated shim (see module docstring): the tuple holds only
+    lightweight proxies; generator state lives in the registry's
+    bounded cache, so caching this tuple pins no datasets or models.
+    """
+    specs: List[BenchmarkSpec] = [
+        _shim_spec(DEFAULT_REGISTRY.by_index(i)) for i in range(100)
     ]
-    for i, (desc, fn) in enumerate(mcnc):
-        specs.append(
-            BenchmarkSpec(
-                index=70 + i,
-                category="mcnc-like",
-                description=desc,
-                n_inputs=fn.n_inputs,
-                label_fn=fn,
-            )
-        )
-
-    # ex75-79: symmetric functions.
-    for i, sig in enumerate(fns.SYMMETRIC_SIGNATURES):
-        specs.append(
-            BenchmarkSpec(
-                index=75 + i,
-                category="symmetric",
-                description=f"16-input symmetric {sig}",
-                n_inputs=16,
-                label_fn=fns.symmetric16(sig),
-            )
-        )
-
-    # ex80-89 / ex90-99: image-like group comparisons.
-    mnist = mnist_like_model()
-    cifar = cifar_like_model()
-    for i in range(10):
-        specs.append(
-            BenchmarkSpec(
-                index=80 + i,
-                category="mnist-like",
-                description=f"MNIST-like groups {i}",
-                n_inputs=mnist.n_pixels,
-                sampler=group_comparison_sampler(mnist, i),
-            )
-        )
-    for i in range(10):
-        specs.append(
-            BenchmarkSpec(
-                index=90 + i,
-                category="cifar-like",
-                description=f"CIFAR-like groups {i}",
-                n_inputs=cifar.n_pixels,
-                sampler=group_comparison_sampler(cifar, i),
-            )
-        )
-
-    specs.sort(key=lambda s: s.index)
     assert [s.index for s in specs] == list(range(100))
     return tuple(specs)
 
@@ -302,16 +172,18 @@ def make_problem(
 ) -> LearningProblem:
     """Sample a train/validation/test triple for one benchmark.
 
-    For deterministic label functions the three sets are disjoint in
-    input space (split from one without-replacement draw); generative
-    benchmarks use independent draws, like the contest's image data.
+    Deprecated shim over ``DEFAULT_REGISTRY.problem`` (byte-identical
+    for the 100 paper benchmarks).  For deterministic label functions
+    the three sets are disjoint in input space (split from one
+    without-replacement draw); generative benchmarks use independent
+    draws, like the contest's image data.
     """
     rng = rng_for("problem", spec.index, master_seed)
     total = n_train + n_valid + n_test
     if spec.sampler is not None:
         X, y = spec.sample(total, rng)
     else:
-        X = _unique_uniform_rows(spec.n_inputs, total, rng)
+        X = unique_uniform_rows(spec.n_inputs, total, rng)
         y = spec.label_fn(X)
     train = Dataset(X[:n_train], y[:n_train])
     valid = Dataset(X[n_train : n_train + n_valid],

@@ -28,15 +28,30 @@ Typical use (what ``repro.cli contest --jobs N --out-dir D`` does)::
 
 Interrupt it, re-invoke it, extend the grid with more benchmarks or
 trials — completed tasks are never recomputed.
+
+Sharded execution splits one grid across independent processes or CI
+jobs: ``shard_tasks(specs, k, N)`` deterministically owns a key-hashed
+subset, each shard runs into its own directory, and ``merge_stores``
+(or the in-memory ``load_contest_runs``) reassembles a store
+byte-identical to the unsharded run's.
 """
 
 from repro.runner.runner import (
     contest_tasks,
     load_contest_run,
+    load_contest_runs,
+    parse_shard,
     run_contest_tasks,
     run_tasks,
+    shard_of,
+    shard_tasks,
 )
-from repro.runner.store import RunStore, canonical_line
+from repro.runner.store import (
+    RunStore,
+    benchmark_sort_key,
+    canonical_line,
+    merge_stores,
+)
 from repro.runner.task import (
     TaskSpec,
     dataset_fingerprint,
@@ -51,11 +66,15 @@ from repro.runner.task import (
 __all__ = [
     "TaskSpec",
     "RunStore",
+    "benchmark_sort_key",
     "canonical_line",
     "contest_tasks",
     "dataset_fingerprint",
     "flow_name_for",
     "load_contest_run",
+    "load_contest_runs",
+    "merge_stores",
+    "parse_shard",
     "resolve_flow",
     "run_contest_tasks",
     "run_flow_on_problem",
@@ -63,4 +82,6 @@ __all__ = [
     "run_tasks",
     "score_from_record",
     "score_to_record",
+    "shard_of",
+    "shard_tasks",
 ]

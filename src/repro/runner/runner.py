@@ -1,4 +1,4 @@
-"""Parallel, resumable execution of contest task grids.
+"""Parallel, resumable, shardable execution of contest task grids.
 
 ``run_tasks`` fans a list of :class:`TaskSpec` out over a
 ``ProcessPoolExecutor`` (``jobs=1`` stays fully in-process, no pool),
@@ -8,19 +8,26 @@ most the tasks in flight, and re-invoking with the same arguments
 resumes where it stopped.  Because workers are pure functions of the
 spec (see :mod:`repro.runner.task`), serial, parallel and resumed runs
 produce byte-identical records per task.
+
+The same purity enables *sharding*: :func:`shard_tasks` partitions a
+grid deterministically by task key, so N independent processes (or CI
+jobs) can each run ``--shard k/N`` into their own store directory and
+:func:`repro.runner.store.merge_stores` reassembles a store
+byte-identical to the unsharded run's.
 """
 
 from __future__ import annotations
 
+import hashlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.runner.store import PathLike, RunStore
+from repro.runner.store import PathLike, RunStore, benchmark_sort_key
 from repro.runner.task import TaskResult, TaskSpec, run_task
 
 
 def contest_tasks(
-    benchmark_indices: Sequence[int],
+    benchmarks: Sequence[object],
     flow_names: Union[Sequence[str], Dict[str, str]],
     n_train: int,
     n_valid: int,
@@ -31,6 +38,14 @@ def contest_tasks(
 ) -> List[TaskSpec]:
     """The full (flow x benchmark x trial) grid as task specs.
 
+    ``benchmarks`` entries may be suite indices (ints — the historical
+    interface, producing the historical ``b{idx:03d}`` task keys),
+    registry problem names / family spec strings, or
+    :class:`~repro.contest.registry.ProblemSpec` objects.  Specs that
+    carry a paper index collapse to that index so their store keys (and
+    hence resumability of old run directories) are unchanged; generated
+    specs are keyed by canonical name.
+
     ``flow_names`` is either a list of worker-resolvable names or a
     ``{display name: resolvable name}`` mapping.  Trial ``t`` runs with
     master seed ``master_seed + t``, so multi-seed sweeps stay
@@ -39,17 +54,29 @@ def contest_tasks(
     loop), which lets the per-process problem cache serve every flow
     of a benchmark from one sampling.
     """
+    from repro.contest.registry import ProblemSpec
+
     if isinstance(flow_names, dict):
         named = list(flow_names.items())
     else:
         named = [(name, name) for name in flow_names]
+    resolved: List[Union[int, str]] = []
+    for entry in benchmarks:
+        if isinstance(entry, ProblemSpec):
+            resolved.append(
+                entry.index if entry.index is not None else entry.name
+            )
+        elif isinstance(entry, str):
+            resolved.append(entry)
+        else:
+            resolved.append(int(entry))
     specs: List[TaskSpec] = []
-    for idx in benchmark_indices:
+    for bench in resolved:
         for t in range(trials):
             for team, flow in named:
                 specs.append(
                     TaskSpec(
-                        benchmark=int(idx),
+                        benchmark=bench,
                         flow=flow,
                         seed=master_seed + t,
                         n_train=n_train,
@@ -60,6 +87,56 @@ def contest_tasks(
                     )
                 )
     return specs
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``"k/N"`` shard selector into ``(k, N)``.
+
+    ``k`` counts from zero: valid selectors for a four-way split are
+    ``0/4`` through ``3/4``.
+    """
+    head, sep, tail = text.partition("/")
+    if not sep:
+        raise ValueError(
+            f"invalid shard {text!r}: expected 'k/N' (e.g. '0/4')"
+        )
+    try:
+        index, total = int(head), int(tail)
+    except ValueError:
+        raise ValueError(
+            f"invalid shard {text!r}: expected integers 'k/N'"
+        ) from None
+    if total < 1:
+        raise ValueError(f"invalid shard {text!r}: N must be >= 1")
+    if not 0 <= index < total:
+        raise ValueError(
+            f"invalid shard {text!r}: k must be in 0..{total - 1}"
+        )
+    return index, total
+
+
+def shard_of(key: str, total: int) -> int:
+    """The shard owning a task key: stable hash, independent of grid
+    order, so adding benchmarks never reshuffles existing tasks."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % total
+
+
+def shard_tasks(
+    specs: Sequence[TaskSpec], index: int, total: int
+) -> List[TaskSpec]:
+    """The subset of a grid owned by shard ``index`` of ``total``.
+
+    Partitioning hashes each task's *key*, so every shard computes its
+    subset independently from the full grid — no coordination, no
+    ordering sensitivity — and the union over ``0..total-1`` is exactly
+    the grid.  ``total=1`` returns the grid unchanged.
+    """
+    if total == 1:
+        return list(specs)
+    if not 0 <= index < total:
+        raise ValueError(f"shard index {index} out of range 0..{total - 1}")
+    return [s for s in specs if shard_of(s.key, total) == index]
 
 
 def _execute(
@@ -159,7 +236,8 @@ def run_contest_tasks(
                     "n_valid": first.n_valid,
                     "n_test": first.n_test,
                     "effort": first.effort,
-                    "benchmarks": sorted({s.benchmark for s in specs}),
+                    "benchmarks": sorted({s.benchmark for s in specs},
+                                         key=benchmark_sort_key),
                     "flows": sorted({s.flow for s in specs}),
                     "seeds": sorted({s.seed for s in specs}),
                 }
@@ -183,13 +261,53 @@ def run_contest_tasks(
 def load_contest_run(out_dir: PathLike):
     """Rebuild a :class:`~repro.analysis.ContestRun` from a directory,
     without executing any task."""
-    from repro.analysis import ContestRun
+    return load_contest_runs([out_dir])
 
-    store = RunStore(out_dir)
-    scores = store.scores_by_team()
-    if not scores:
+
+def load_contest_runs(out_dirs: Sequence[PathLike]):
+    """Rebuild one :class:`~repro.analysis.ContestRun` from one or
+    more run directories (e.g. the stores of a sharded run).
+
+    The directories are merged in memory — records indexed by task
+    key, conflicting duplicate keys rejected — exactly as
+    :func:`~repro.runner.store.merge_stores` would merge them on disk,
+    then reconstructed in the usual (team, benchmark, seed) order.
+    """
+    from repro.analysis import ContestRun
+    from repro.runner.store import canonical_line
+    from repro.runner.task import score_from_record
+
+    records: Dict[str, Dict[str, object]] = {}
+    origins: Dict[str, PathLike] = {}
+    found_any = False
+    for out_dir in out_dirs:
+        store = RunStore(out_dir)
+        loaded = store.load_records()
+        if loaded:
+            found_any = True
+        for key, record in loaded.items():
+            if key in records and \
+                    canonical_line(records[key]) != canonical_line(record):
+                raise ValueError(
+                    f"task {key!r} differs between {origins[key]} and "
+                    f"{store.root}; these directories are not shards of "
+                    f"one run"
+                )
+            records[key] = record
+            origins[key] = store.root
+    if not found_any:
+        listed = ", ".join(str(d) for d in out_dirs)
         raise FileNotFoundError(
-            f"no records found under {store.root} (expected "
-            f"{store.records_path.name})"
+            f"no records found under {listed} (expected "
+            f"{RunStore(out_dirs[0]).records_path.name})"
         )
+    ordered = sorted(
+        records.values(),
+        key=lambda r: (str(r.get("team", r["flow"])),
+                       benchmark_sort_key(r["benchmark"]), r["seed"]),
+    )
+    scores: Dict[str, List] = {}
+    for record in ordered:
+        team = str(record.get("team", record["flow"]))
+        scores.setdefault(team, []).append(score_from_record(record))
     return ContestRun(scores)

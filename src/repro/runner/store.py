@@ -16,7 +16,10 @@ same directory), the last occurrence wins.
 
 Every line is serialized with ``sort_keys`` and fixed separators, so a
 record's bytes are a pure function of its values — the property the
-golden determinism tests pin down.
+golden determinism tests pin down.  That same property makes sharded
+runs mergeable: :func:`merge_stores` can combine the stores written by
+independent ``--shard k/N`` processes into one directory whose records
+are byte-identical, per key, to an unsharded run's.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import hashlib
 import json
 import re
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.contest.evaluate import Score
 from repro.runner.task import RECORD_SCHEMA, TaskSpec, score_from_record
@@ -46,6 +49,19 @@ _GRID_KEYS = ("benchmarks", "flows", "seeds")
 def canonical_line(record: Dict[str, object]) -> str:
     """The one true serialization of a record (no trailing newline)."""
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def benchmark_sort_key(benchmark: object) -> Tuple[bool, int, str]:
+    """Total order over mixed benchmark identifiers.
+
+    Records may carry integer suite indices (historical runs) or
+    registry problem names (``"adder:width=48"``) in the same store;
+    Python refuses ``int < str``, so ordering goes through this key:
+    all indices first (numerically), then names (lexically).
+    """
+    if isinstance(benchmark, int) and not isinstance(benchmark, bool):
+        return (False, benchmark, "")
+    return (True, 0, str(benchmark))
 
 
 def _solution_filename(key: str) -> str:
@@ -245,9 +261,84 @@ class RunStore:
         ordered = sorted(
             records.values(),
             key=lambda r: (str(r.get("team", r["flow"])),
-                           r["benchmark"], r["seed"]),
+                           benchmark_sort_key(r["benchmark"]), r["seed"]),
         )
         for record in ordered:
             team = str(record.get("team", record["flow"]))
             out.setdefault(team, []).append(score_from_record(record))
         return out
+
+
+def merge_stores(
+    sources: Iterable[PathLike], dest: PathLike
+) -> RunStore:
+    """Combine the stores of a sharded run into one run directory.
+
+    The shards of one contest share a sampling configuration and hold
+    disjoint task keys, so merging is mechanical: verify the manifests'
+    config keys agree, union their grid keys, and write every record —
+    sorted by task key, in canonical serialization — into ``dest``.
+    Kept solution circuits are copied alongside.  A key stored by two
+    sources must carry byte-identical records (task purity guarantees
+    this for shards of one grid); differing duplicates abort the merge
+    rather than silently picking a winner.
+    """
+    stores = [RunStore(src) for src in sources]
+    if not stores:
+        raise ValueError("merge_stores needs at least one source")
+
+    merged_manifest: Dict[str, object] = {}
+    for store in stores:
+        manifest = store.read_manifest()
+        if manifest is None:
+            continue
+        for key in _CONFIG_KEYS:
+            if key not in manifest:
+                continue
+            if key in merged_manifest and \
+                    merged_manifest[key] != manifest[key]:
+                raise ValueError(
+                    f"cannot merge {store.root}: {key}={manifest[key]!r} "
+                    f"conflicts with {key}={merged_manifest[key]!r} from "
+                    f"an earlier source"
+                )
+            merged_manifest[key] = manifest[key]
+        for key in _GRID_KEYS:
+            if key in manifest:
+                both = set(merged_manifest.get(key, ())) \
+                    | set(manifest[key])
+                merged_manifest[key] = sorted(
+                    both, key=benchmark_sort_key
+                ) if key == "benchmarks" else sorted(both)
+
+    records: Dict[str, Dict[str, object]] = {}
+    origins: Dict[str, Path] = {}
+    solutions: Dict[str, str] = {}
+    for store in stores:
+        for key, record in store.load_records().items():
+            if key in records and \
+                    canonical_line(records[key]) != canonical_line(record):
+                raise ValueError(
+                    f"task {key!r} differs between {origins[key]} and "
+                    f"{store.root}; refusing to merge conflicting records"
+                )
+            records[key] = record
+            origins[key] = store.root
+            text = store.solution_text(key)
+            if text is not None:
+                solutions[key] = text
+
+    out = RunStore(dest)
+    out.root.mkdir(parents=True, exist_ok=True)
+    if merged_manifest:
+        out.manifest_path.write_text(
+            json.dumps(merged_manifest, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    with out.records_path.open("w", encoding="utf-8") as fh:
+        for key in sorted(records):
+            fh.write(canonical_line(records[key]) + "\n")
+    for key, text in solutions.items():
+        out.solutions_dir.mkdir(parents=True, exist_ok=True)
+        out.solution_path(key).write_text(text, encoding="ascii")
+    return out

@@ -1,12 +1,14 @@
 """The unit of contest work: one (benchmark, flow, seed) task.
 
 A :class:`TaskSpec` names everything a worker needs to recompute its
-result from scratch — the benchmark *index*, the flow *name*, the
-master seed and the sample sizes — so the worker function
+result from scratch — the benchmark (a suite *index* or a registry
+*problem name* like ``"ex74"`` / ``"adder:width=48"``), the flow
+*name*, the master seed and the sample sizes — so the worker function
 :func:`run_task` is a pure function of the spec.  That purity is what
 makes the parallel runner deterministic (any process, any order, same
 record), makes resume sound (a stored record fully substitutes for a
-re-execution), and makes the golden determinism tests possible.
+re-execution), makes sharded runs mergeable byte-identically, and
+makes the golden determinism tests possible.
 
 Flows are referenced by name, never by callable: a registry name or
 spec string (``"team01"``, ``"team01:effort=full"``,
@@ -22,7 +24,7 @@ import hashlib
 import importlib
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -56,10 +58,16 @@ def initialize_worker(sim_backend: Optional[str] = None) -> None:
 
 @dataclass(frozen=True)
 class TaskSpec:
-    """One contest execution: flow x benchmark x seed at fixed sizes."""
+    """One contest execution: flow x benchmark x seed at fixed sizes.
 
-    benchmark: int  # index into build_suite()
-    flow: str  # ALL_FLOWS key or "module:qualname" dotted path
+    ``benchmark`` is either a suite index (the historical interface —
+    keys and records are unchanged, so old stores keep resuming) or a
+    registry problem name / family spec string resolved through
+    :data:`repro.contest.registry.DEFAULT_REGISTRY`.
+    """
+
+    benchmark: Union[int, str]  # suite index or registry problem name
+    flow: str  # registry name/spec string or "module:qualname" path
     seed: int  # master seed for sampling and the flow's RNG streams
     n_train: int
     n_valid: int
@@ -70,6 +78,8 @@ class TaskSpec:
     @property
     def key(self) -> str:
         """Stable identity of the task within one run directory."""
+        if isinstance(self.benchmark, str):
+            return f"{self.benchmark}:{self.flow}:s{self.seed}"
         return f"b{self.benchmark:03d}:{self.flow}:s{self.seed}"
 
     @property
@@ -137,7 +147,11 @@ def flow_name_for(name: str, flow: Callable) -> str:
 
 @lru_cache(maxsize=4)
 def _cached_problem(
-    benchmark: int, n_train: int, n_valid: int, n_test: int, seed: int
+    benchmark: Union[int, str],
+    n_train: int,
+    n_valid: int,
+    n_test: int,
+    seed: int,
 ) -> LearningProblem:
     """Per-process problem cache.
 
@@ -148,15 +162,14 @@ def _cached_problem(
     already must not mutate problem data (the serial contest reused
     one instance across flows long before the runner existed).
     """
-    from repro.contest import build_suite, make_problem
+    from repro.contest import DEFAULT_REGISTRY
 
-    suite = build_suite()
-    if not 0 <= benchmark < len(suite):
-        raise IndexError(
-            f"benchmark index {benchmark} out of range 0..{len(suite) - 1}"
-        )
-    return make_problem(
-        suite[benchmark], n_train=n_train, n_valid=n_valid,
+    if isinstance(benchmark, str):
+        spec = DEFAULT_REGISTRY.get(benchmark)
+    else:
+        spec = DEFAULT_REGISTRY.by_index(benchmark)
+    return DEFAULT_REGISTRY.problem(
+        spec, n_train=n_train, n_valid=n_valid,
         n_test=n_test, master_seed=seed,
     )
 
@@ -169,7 +182,7 @@ def make_task_problem(spec: TaskSpec) -> LearningProblem:
 
 
 def dataset_fingerprint(
-    benchmark: int,
+    benchmark: Union[int, str],
     n_train: int,
     n_valid: int,
     n_test: int,

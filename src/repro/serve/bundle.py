@@ -77,7 +77,7 @@ class ModelInfo:
     flow: Optional[str] = None
     seed: Optional[int] = None
     test_accuracy: Optional[float] = None
-    benchmark: Optional[int] = None  # suite index, when known
+    benchmark: Union[int, str, None] = None  # suite index or registry name
     key: Optional[str] = None  # run-store task key, when from a store
 
     def to_json(self) -> Dict[str, Any]:
@@ -186,6 +186,11 @@ class CircuitBundle:
     ) -> ModelInfo:
         meta = self.metadata
         benchmark = meta.get("benchmark")
+        if isinstance(benchmark, str):
+            try:  # digit strings are suite indices; spec names stay put
+                benchmark = int(benchmark)
+            except ValueError:
+                pass
         return ModelInfo(
             name=str(meta.get("benchmark_name") or meta.get("name") or "circuit"),
             n_inputs=n_inputs,
@@ -195,7 +200,7 @@ class CircuitBundle:
             flow=meta.get("flow"),
             seed=meta.get("seed"),
             test_accuracy=meta.get("test_accuracy"),
-            benchmark=int(benchmark) if benchmark is not None else None,
+            benchmark=benchmark,
             key=meta.get("key"),
         )
 

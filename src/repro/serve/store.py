@@ -143,8 +143,15 @@ class ModelStore:
         return sorted(self._bundles)
 
     def resolve(self, name: str) -> str:
-        """Canonical model name for ``name`` (also accepts a suite
-        index like ``"74"`` in run-store mode)."""
+        """Canonical model name for ``name``.
+
+        Accepts an exact stored name (registry names like ``ex74`` or
+        ``adder:width=48`` pass through untouched), a suite index like
+        ``"74"`` (run-store mode), or a glob over the stored names —
+        useful for registry spec strings whose parameters the caller
+        half-remembers (``"adder:*width=48*"``) — provided it matches
+        exactly one model.
+        """
         if name in self._bundles:
             return name
         try:
@@ -155,6 +162,17 @@ class ModelStore:
             for cand, bundle in self._bundles.items():
                 if bundle.metadata.get("benchmark") == index:
                     return cand
+        if any(ch in name for ch in "*?["):
+            from fnmatch import fnmatchcase
+
+            matched = [c for c in self.names() if fnmatchcase(c, name)]
+            if len(matched) == 1:
+                return matched[0]
+            if matched:
+                raise KeyError(
+                    f"model glob {name!r} is ambiguous: matches "
+                    f"{', '.join(matched)}"
+                )
         raise KeyError(
             f"unknown model {name!r} (serving: {', '.join(self.names())})"
         )

@@ -19,11 +19,16 @@ from repro.runner import (
     canonical_line,
     contest_tasks,
     load_contest_run,
+    load_contest_runs,
+    merge_stores,
+    parse_shard,
     run_contest_tasks,
     run_task,
     run_tasks,
     score_from_record,
     score_to_record,
+    shard_of,
+    shard_tasks,
 )
 from repro.runner.task import _json_safe, flow_name_for, resolve_flow
 
@@ -31,7 +36,7 @@ from repro.runner.task import _json_safe, flow_name_for, resolve_flow
 # seeds.  ex50 is an easy control cone, ex74 is 16-parity (hard for
 # trees); team10 is fast, team02 exercises rules + metadata.
 GRID = dict(
-    benchmark_indices=[50, 74],
+    benchmarks=[50, 74],
     flow_names=["team10", "team02"],
     n_train=48, n_valid=48, n_test=48,
 )
@@ -194,6 +199,110 @@ class TestGoldenDeterminism:
         monkeypatch.setattr("repro.runner.runner.run_task", boom)
         again = run_contest_tasks(specs, jobs=1, out_dir=root / "serial")
         assert again.table3() == serial.table3()
+
+
+class TestShardedDeterminism:
+    """4 shards into 4 stores, merged == one unsharded jobs=4 store.
+
+    The sharded grid deliberately mixes historical suite indices with
+    generated-family spec strings: shard partitioning, the stores and
+    the merge must all be indifferent to how a benchmark is named.
+    """
+
+    SHARDS = 4
+
+    @pytest.fixture(scope="class")
+    def sharded(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("sharded")
+        specs = contest_tasks(
+            [50, 74, "parity:inputs=12", "adder:width=4"],
+            ["team10", "team02"], 48, 48, 48, trials=2,
+        )
+        run_contest_tasks(specs, jobs=4, out_dir=root / "unsharded")
+        shard_dirs = []
+        for k in range(self.SHARDS):
+            part = shard_tasks(specs, k, self.SHARDS)
+            run_contest_tasks(part, jobs=1, out_dir=root / f"shard{k}")
+            shard_dirs.append(root / f"shard{k}")
+        return root, specs, shard_dirs
+
+    def test_partition_is_exact_and_deterministic(self, sharded):
+        _, specs, _ = sharded
+        parts = [shard_tasks(specs, k, self.SHARDS)
+                 for k in range(self.SHARDS)]
+        seen = [s.key for part in parts for s in part]
+        assert sorted(seen) == sorted(s.key for s in specs)
+        assert len(seen) == len(set(seen))  # disjoint
+        # Stable under grid reordering and recomputation.
+        again = shard_tasks(list(reversed(specs)), 0, self.SHARDS)
+        assert {s.key for s in again} == {s.key for s in parts[0]}
+        for s in specs:
+            assert shard_of(s.key, self.SHARDS) == \
+                shard_of(s.key, self.SHARDS)
+
+    def test_merged_store_byte_identical_to_unsharded(self, sharded):
+        root, specs, shard_dirs = sharded
+        merge_stores(shard_dirs, root / "merged")
+        merged = _lines_by_key(root / "merged")
+        unsharded = _lines_by_key(root / "unsharded")
+        assert set(merged) == {s.key for s in specs}
+        assert merged == unsharded
+
+    def test_merged_records_file_is_key_sorted(self, sharded):
+        root, _, shard_dirs = sharded
+        merge_stores(shard_dirs, root / "merged2")
+        lines = (root / "merged2" / "records.jsonl").read_text() \
+            .splitlines()
+        keys = [json.loads(ln)["key"] for ln in lines if ln]
+        assert keys == sorted(keys)
+
+    def test_load_contest_runs_matches_unsharded_report(self, sharded):
+        root, _, shard_dirs = sharded
+        merged = load_contest_runs(shard_dirs)
+        unsharded = load_contest_run(root / "unsharded")
+        assert merged.table3() == unsharded.table3()
+        assert merged.win_rates() == unsharded.win_rates()
+
+    def test_merge_rejects_conflicting_duplicates(self, sharded, tmp_path):
+        root, _, shard_dirs = sharded
+        first = next(d for d in shard_dirs
+                     if RunStore(d).records_path.exists()
+                     and RunStore(d).load_records())
+        key, record = next(iter(RunStore(first).load_records().items()))
+        evil = RunStore(tmp_path / "evil")
+        evil.append(dict(record, test_accuracy=0.123456))
+        with pytest.raises(ValueError, match="differs"):
+            merge_stores([first, evil.root], tmp_path / "out")
+        with pytest.raises(ValueError, match="differs"):
+            load_contest_runs([first, evil.root])
+
+    def test_merge_config_conflict_rejected(self, tmp_path):
+        run_contest_tasks(contest_tasks([74], ["team10"], 32, 32, 32),
+                          out_dir=tmp_path / "a")
+        run_contest_tasks(contest_tasks([50], ["team10"], 64, 64, 64),
+                          out_dir=tmp_path / "b")
+        with pytest.raises(ValueError, match="n_train"):
+            merge_stores([tmp_path / "a", tmp_path / "b"],
+                         tmp_path / "out")
+
+    def test_merge_copies_solutions(self, tmp_path):
+        specs = contest_tasks([74], ["team10"], 32, 32, 32)
+        run_tasks(specs, store=RunStore(tmp_path / "src"),
+                  keep_solutions=True)
+        merged = merge_stores([tmp_path / "src"], tmp_path / "dst")
+        assert merged.solution_text(specs[0].key) == \
+            RunStore(tmp_path / "src").solution_text(specs[0].key)
+
+    def test_parse_shard(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+        for bad in ("4/4", "-1/4", "1", "a/b", "1/0", "1/"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shard_1_of_1_is_identity(self):
+        specs = _grid_specs()
+        assert shard_tasks(specs, 0, 1) == list(specs)
 
 
 class TestStore:

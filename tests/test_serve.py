@@ -82,6 +82,36 @@ def test_model_store_catalogue(model_store):
         model_store.resolve("ex99")
 
 
+def test_model_store_glob_resolution(model_store):
+    # A glob matching exactly one stored name resolves to it; an
+    # ambiguous glob names the candidates instead of guessing.
+    assert model_store.resolve("*74") == "ex74"
+    assert "ex7?" in model_store
+    with pytest.raises(KeyError, match="ambiguous"):
+        model_store.resolve("ex*")
+    with pytest.raises(KeyError, match="unknown model"):
+        model_store.resolve("zz*")
+
+
+def test_model_store_serves_generated_spec(tmp_path):
+    """Registry spec-string benchmarks are servable end to end: the
+    record's string ``benchmark`` field must survive catalogue
+    building (it used to be force-cast to int) and the canonical name
+    must work as the serving route."""
+    name = "parity:inputs=8"
+    specs = contest_tasks([name], ["team10"], SAMPLES, SAMPLES, SAMPLES)
+    run_contest_tasks(specs, jobs=1, out_dir=tmp_path, keep_solutions=True)
+    store = ModelStore(tmp_path, cache_size=2)
+    assert store.names() == [name]
+    assert store.resolve("parity:*") == name
+    info = store.info(name)
+    assert info.benchmark == name
+    assert info.n_inputs == 8
+    compiled = store.load(name)
+    rows = _random_rows(16, 8)
+    assert compiled.predict(rows).shape == (16, 1)
+
+
 def test_model_store_picks_best_record(tmp_path):
     """Selection: legal first, then accuracy, then size, then levels."""
     store = RunStore(tmp_path)

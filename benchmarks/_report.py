@@ -8,9 +8,8 @@ every reproduced table/figure appears at the end of the run (and in
 ``bench_output.txt``).
 """
 
-from typing import List
 
-_LINES: List[str] = []
+_LINES: list[str] = []
 
 
 def echo(*parts: object) -> None:
@@ -20,5 +19,5 @@ def echo(*parts: object) -> None:
     print(line)
 
 
-def drain() -> List[str]:
+def drain() -> list[str]:
     return list(_LINES)

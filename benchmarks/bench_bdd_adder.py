@@ -8,10 +8,9 @@ Claims reproduced in shape:
 * BDTs cannot learn wide XOR, BDDs can (patterns share nodes).
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.bdd import BDD, minimize_dontcare, restrict
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.metrics import accuracy
@@ -23,7 +22,7 @@ def _adder_dataset(k, n, rng):
     a = [sum(int(r[i]) << i for i in range(k)) for r in X]
     b = [sum(int(r[k + i]) << i for i in range(k)) for r in X]
     y = np.array(
-        [((av + bv) >> (k - 1)) & 1 for av, bv in zip(a, b)], np.uint8
+        [((av + bv) >> (k - 1)) & 1 for av, bv in zip(a, b, strict=True)], np.uint8
     )
     return X, y
 

@@ -11,7 +11,6 @@ the starter — asserted here too.
 """
 
 from _report import echo
-
 from repro.cgp import CGPEvolver, CGPGenome, evolve_from_aig
 from repro.contest import build_suite, evaluate_solution, make_problem
 from repro.flows import get_flow

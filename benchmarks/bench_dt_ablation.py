@@ -9,10 +9,9 @@ Two design choices DESIGN.md calls out:
   does not hurt the ordinary cases.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.metrics import accuracy

@@ -7,13 +7,12 @@ small factor of the exact cover on enumerable instances, and the full
 loop never produces more cubes than first-irredundant.
 """
 
-from _report import echo
-
 import random
 import time
 
 import numpy as np
 
+from _report import echo
 from repro.twolevel.espresso import espresso
 from repro.twolevel.quine import quine_mccluskey
 

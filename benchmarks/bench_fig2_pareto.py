@@ -7,10 +7,9 @@ that size".  We assert the analogous knee: moving down 2 accuracy
 points from the top of the frontier costs at most ~60% of the size.
 """
 
-from _report import echo
-
 import math
 
+from _report import echo
 from repro.analysis import (
     accuracy_size_tradeoff,
     size_needed_for_accuracy,

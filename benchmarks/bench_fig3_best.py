@@ -9,7 +9,6 @@ middle.
 """
 
 from _report import echo
-
 from repro.analysis import per_benchmark_best
 
 

@@ -8,7 +8,6 @@ team wins every benchmark; top-1% counts dominate best counts.
 """
 
 from _report import echo
-
 from repro.analysis import win_rates
 
 

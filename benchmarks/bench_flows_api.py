@@ -28,9 +28,8 @@ import os
 import time
 
 from _report import echo
-
-from repro.contest import build_suite, make_problem
 from repro.aig.aiger import dumps_aag
+from repro.contest import build_suite, make_problem
 from repro.flows import REGISTRY, get_flow
 from repro.flows.api import ArtifactCache, Candidate, Flow, Stage
 from repro.synth.from_sop import cover_to_aig

@@ -12,7 +12,6 @@ between accuracy and area (instead of a single solution)."
 """
 
 from _report import echo
-
 from repro.contest import build_suite, make_problem
 from repro.contest.multioutput import (
     adder_all_bits,

@@ -7,10 +7,9 @@ arity 6 does not clearly beat 4 (memorization dilutes); the unique
 scheme is at least as good as pure random wiring on narrow inputs.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.ml.lutnet import LUTNetwork
 from repro.ml.metrics import accuracy

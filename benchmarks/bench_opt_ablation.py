@@ -7,10 +7,9 @@ here we measure sizes), ``balance`` cuts depth on chain-heavy logic,
 combined script at least matches the best single pass.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.aig.aig import AIG
 from repro.aig.build import symmetric_function
 from repro.aig.optimize import balance, compress, refactor, rewrite

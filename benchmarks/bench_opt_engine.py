@@ -23,11 +23,10 @@ import time
 import numpy as np
 
 from _report import echo
-
 from repro.aig.aig import AIG
 from repro.aig.build import parity_chain, symmetric_function
-from repro.aig.optimize import compress
 from repro.aig.opt.reference import reference_compress
+from repro.aig.optimize import compress
 from repro.ml.decision_tree import DecisionTree
 from repro.synth.from_sop import cover_to_aig
 from repro.utils.rng import rng_for

@@ -21,7 +21,6 @@ import os
 import time
 
 from _report import echo
-
 from repro.aig.aig import AIG
 from repro.analysis import format_table3
 from repro.contest.problem import Solution

@@ -50,7 +50,6 @@ import numpy as np
 import pytest
 
 from _report import echo
-
 from repro.aig.aiger import read_aag
 from repro.runner import contest_tasks, run_contest_tasks
 from repro.runner.store import RunStore
@@ -206,7 +205,9 @@ def test_serve_cold_vs_warm_compile(store_dir):
 
 
 def _predict_request_bytes(name, row):
-    body = json.dumps({"row": [int(b) for b in row]}).encode("utf-8")
+    body = json.dumps(
+        {"row": [int(b) for b in row]}, sort_keys=True
+    ).encode("utf-8")
     head = (
         f"POST /predict/{name} HTTP/1.1\r\n"
         f"Host: bench\r\n"

@@ -20,11 +20,10 @@ import os
 import random
 import time
 
-from _report import echo
-
 import numpy as np
 import pytest
 
+from _report import echo
 from repro.aig.aig import AIG
 from repro.aig.cec import check_equivalence
 from repro.sim import (
@@ -135,12 +134,12 @@ def test_backend_matrix_speedup():
             for e in engines.values()
         ]
     )
-    warm = dict(zip(engines, times))
+    warm = dict(zip(engines, times, strict=True))
     cores = os.cpu_count() or 1
     echo(f"\n=== Backend warm-run matrix ({N_ANDS} ANDs x "
          f"{N_SAMPLES} samples, {cores} cores) ===")
     reference = results[0]
-    for (name, t), out in zip(warm.items(), results):
+    for (name, t), out in zip(warm.items(), results, strict=True):
         assert np.array_equal(out, reference), name  # bit-identical
         echo(f"  {name:<6} {1e3 * t:8.3f} ms "
              f"({warm['numpy'] / t:5.2f}x vs numpy)")
@@ -194,7 +193,7 @@ def test_backend_batched_datasets(benchmark, backend_name):
         lambda: simulate_datasets(aig, mats, backend=backend_name),
         rounds=3, iterations=1,
     )
-    for r, g in zip(ref, outs):
+    for r, g in zip(ref, outs, strict=True):
         assert np.array_equal(r, g)
 
 

@@ -5,10 +5,9 @@ Table I (10 categories x 10 cases, input ranges) and Table II (the
 MNIST/CIFAR group pairs).
 """
 
-from _report import echo
-
 from collections import Counter
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.contest.imagelike import GROUP_COMPARISONS
 

@@ -12,7 +12,6 @@ import json
 import resource
 
 from _report import echo
-
 from repro.contest import DEFAULT_REGISTRY, clear_cache
 from repro.runner import (
     contest_tasks,

@@ -13,7 +13,6 @@ average size stays far below the cap, (d) every circuit is legal.
 """
 
 from _report import echo
-
 from repro.analysis import format_table3, table3
 from repro.flows import TECHNIQUE_NAMES, TECHNIQUES
 

@@ -9,10 +9,9 @@ much larger than the trees; the ensemble is at least competitive with
 its best member.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, evaluate_solution, make_problem
 from repro.flows import get_flow
 from repro.flows.common import aig_accuracy
@@ -20,8 +19,8 @@ from repro.ml.decision_tree import DecisionTree
 from repro.ml.fringe import FringeDT
 from repro.ml.lutnet import LUTNetwork
 from repro.ml.mlp import MLP
-from repro.synth.from_mlp import mlp_to_aig
 from repro.synth.from_lutnet import lutnet_to_aig
+from repro.synth.from_mlp import mlp_to_aig
 from repro.synth.from_tree import fringe_dt_to_aig, tree_to_aig
 from repro.utils.rng import rng_for
 

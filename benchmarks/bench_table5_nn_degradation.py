@@ -7,10 +7,9 @@ synthesized AIG — and assert the shape: each stage loses a little, the
 total loss stays bounded, and the final AIG still clearly learns.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.flows.common import aig_accuracy
 from repro.ml.metrics import accuracy

@@ -9,10 +9,9 @@ selection wins on a nontrivial fraction, and the 80% proportion
 dominates.
 """
 
-from _report import echo
-
 from collections import Counter
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.flows import get_flow
 

@@ -8,10 +8,9 @@ circuits small) and the accuracy profile (solid average, some
 near-perfect cases).
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, evaluate_solution, make_problem
 from repro.flows import get_flow
 

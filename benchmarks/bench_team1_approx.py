@@ -13,7 +13,6 @@ gracefully toward the constant predictor, never below chance.
 """
 
 from _report import echo
-
 from repro.aig.approx import approximate_to_size
 from repro.contest import build_suite, make_problem
 from repro.flows.common import aig_accuracy

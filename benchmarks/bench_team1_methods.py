@@ -9,10 +9,9 @@ stays well under 5000 nodes because it conforms to the training
 minterms.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.flows.common import aig_accuracy
 from repro.ml.forest import RandomForest

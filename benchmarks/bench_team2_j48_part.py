@@ -7,10 +7,9 @@ consistent size winner — their argument for classifier diversity.
 We run both on a benchmark spread and assert those three shapes.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.contest import build_suite, make_problem
 from repro.flows.common import aig_accuracy
 from repro.ml.decision_tree import DecisionTree

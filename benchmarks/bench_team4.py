@@ -10,7 +10,6 @@ feature-selectable cases (comparator / image-like).
 """
 
 from _report import echo
-
 from repro.contest import build_suite, evaluate_solution, make_problem
 from repro.flows import get_flow
 

@@ -7,10 +7,9 @@ Fig. 27: on a signed comparator, mean Shapley values form two
 monotone ramps of opposite polarity over the two operand words.
 """
 
-from _report import echo
-
 import numpy as np
 
+from _report import echo
 from repro.aig.aig import AIG
 from repro.aig.build import maj5_tree
 from repro.contest import build_suite, make_problem

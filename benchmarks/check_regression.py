@@ -27,19 +27,18 @@ import json
 import statistics
 import sys
 from pathlib import Path
-from typing import Dict
 
 
-def load_means(results_path: Path) -> Dict[str, float]:
+def load_means(results_path: Path) -> dict[str, float]:
     """``{benchmark fullname: mean seconds}`` from pytest-benchmark JSON."""
     data = json.loads(results_path.read_text(encoding="utf-8"))
-    means: Dict[str, float] = {}
+    means: dict[str, float] = {}
     for bench in data.get("benchmarks", []):
         means[bench["fullname"]] = float(bench["stats"]["mean"])
     return means
 
 
-def write_baseline(baseline_path: Path, means: Dict[str, float]) -> None:
+def write_baseline(baseline_path: Path, means: dict[str, float]) -> None:
     payload = {
         "comment": (
             "Mean seconds per pytest-benchmark fixture benchmark. "
@@ -54,8 +53,8 @@ def write_baseline(baseline_path: Path, means: Dict[str, float]) -> None:
 
 
 def check(
-    results: Dict[str, float],
-    baseline: Dict[str, float],
+    results: dict[str, float],
+    baseline: dict[str, float],
     tolerance: float,
 ) -> int:
     shared = sorted(set(results) & set(baseline))

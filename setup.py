@@ -1,3 +1,10 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # PEP 561: ship the marker so installed copies expose their inline
+    # annotations to type checkers.
+    package_data={"repro": ["py.typed"]},
+)

@@ -16,7 +16,7 @@ candidate subgraphs and undo them when they do not improve size.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -125,16 +125,16 @@ class AIG(GateOps):
         self.n_inputs = n_inputs
         # Fanins of AND nodes; AND node j has variable index
         # n_inputs + 1 + j.
-        self._fanin0: List[int] = []
-        self._fanin1: List[int] = []
-        self.outputs: List[int] = []
+        self._fanin0: list[int] = []
+        self._fanin1: list[int] = []
+        self.outputs: list[int] = []
         self._strash = {}
-        self._strash_log: List[Tuple[int, int]] = []
+        self._strash_log: list[tuple[int, int]] = []
         # Structural version, bumped on every mutation; keys the cached
         # compiled simulation engines (one per backend, sharing one
         # program — see :meth:`compiled`).
         self._version = 0
-        self._compiled: Optional[Tuple[int, Tuple[int, ...], dict]] = None
+        self._compiled: tuple[int, tuple[int, ...], dict] | None = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -159,7 +159,7 @@ class AIG(GateOps):
             raise IndexError(f"input index {i} out of range")
         return lit_make(1 + i)
 
-    def input_lits(self) -> List[int]:
+    def input_lits(self) -> list[int]:
         """Literals of all primary inputs, in order."""
         return [lit_make(1 + i) for i in range(self.n_inputs)]
 
@@ -172,7 +172,7 @@ class AIG(GateOps):
     def is_and_var(self, var: int) -> bool:
         return var > self.n_inputs
 
-    def fanins(self, var: int) -> Tuple[int, int]:
+    def fanins(self, var: int) -> tuple[int, int]:
         """Fanin literals of AND node variable ``var``."""
         idx = var - self.n_inputs - 1
         if idx < 0:
@@ -217,11 +217,11 @@ class AIG(GateOps):
     # ------------------------------------------------------------------
     # Checkpoint / rollback for tentative construction
     # ------------------------------------------------------------------
-    def checkpoint(self) -> Tuple[int, int, int]:
+    def checkpoint(self) -> tuple[int, int, int]:
         """Snapshot for :meth:`rollback` (node count, strash log, outputs)."""
         return (self.num_ands, len(self._strash_log), len(self.outputs))
 
-    def rollback(self, state: Tuple[int, int, int]) -> None:
+    def rollback(self, state: tuple[int, int, int]) -> None:
         """Undo all nodes/outputs added after ``state`` was taken."""
         n_ands, n_log, n_outs = state
         for key in self._strash_log[n_log:]:
@@ -256,7 +256,7 @@ class AIG(GateOps):
             counts[lit_var(o)] += 1
         return counts
 
-    def reachable_vars(self, lits: Optional[Iterable[int]] = None) -> np.ndarray:
+    def reachable_vars(self, lits: Iterable[int] | None = None) -> np.ndarray:
         """Boolean mask of variables in the transitive fanin of ``lits``.
 
         Defaults to the registered outputs.
@@ -276,12 +276,12 @@ class AIG(GateOps):
                 stack.append(lit_var(f1))
         return mask
 
-    def count_used_ands(self, lits: Optional[Iterable[int]] = None) -> int:
+    def count_used_ands(self, lits: Iterable[int] | None = None) -> int:
         """AND nodes in the transitive fanin of ``lits`` (default outputs)."""
         mask = self.reachable_vars(lits)
         return int(mask[self.n_inputs + 1 :].sum())
 
-    def extract_cone(self, lits: Optional[Sequence[int]] = None) -> "AIG":
+    def extract_cone(self, lits: Sequence[int] | None = None) -> "AIG":
         """Compact copy containing only logic reachable from ``lits``.
 
         Primary inputs are all preserved (same indices) so the new graph
@@ -322,7 +322,7 @@ class AIG(GateOps):
     # ------------------------------------------------------------------
     # Simulation (delegates to the levelized engine in repro.sim)
     # ------------------------------------------------------------------
-    def compiled(self, backend: Optional[str] = None):
+    def compiled(self, backend: str | None = None):
         """The levelized simulation engine for the current structure.
 
         Compiled lazily and cached until the next mutation
@@ -364,7 +364,7 @@ class AIG(GateOps):
         return engine
 
     def simulate_packed_all(
-        self, packed_inputs: np.ndarray, backend: Optional[str] = None
+        self, packed_inputs: np.ndarray, backend: str | None = None
     ) -> np.ndarray:
         """Bit-parallel simulation returning values of *every* variable.
 
@@ -376,7 +376,7 @@ class AIG(GateOps):
         return self.compiled(backend).run_packed_all(packed_inputs)
 
     def simulate_packed(
-        self, packed_inputs: np.ndarray, backend: Optional[str] = None
+        self, packed_inputs: np.ndarray, backend: str | None = None
     ) -> np.ndarray:
         """Bit-parallel simulation of the registered outputs.
 
@@ -386,7 +386,7 @@ class AIG(GateOps):
         return self.compiled(backend).run_packed(packed_inputs)
 
     def simulate(
-        self, samples: np.ndarray, backend: Optional[str] = None
+        self, samples: np.ndarray, backend: str | None = None
     ) -> np.ndarray:
         """Evaluate on a ``(n_samples, n_inputs)`` 0/1 matrix.
 
@@ -394,7 +394,7 @@ class AIG(GateOps):
         """
         return self.compiled(backend).run(samples)
 
-    def truth_tables(self, n_vars: Optional[int] = None) -> List[int]:
+    def truth_tables(self, n_vars: int | None = None) -> list[int]:
         """Exhaustive truth table of each output as a Python int.
 
         Bit ``m`` of the result is the output value on the input

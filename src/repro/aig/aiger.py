@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Union
 
 from repro.aig.aig import AIG
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def dumps_aag(aig: AIG) -> str:

@@ -11,8 +11,6 @@ removing 3000-5000 nodes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
 import numpy as np
 
 from repro.aig.aig import AIG, CONST0, CONST1
@@ -20,7 +18,7 @@ from repro.utils.bitops import popcount64
 from repro.utils.rng import rng_for
 
 
-def substitute_constants(aig: AIG, overrides: Dict[int, int]) -> AIG:
+def substitute_constants(aig: AIG, overrides: dict[int, int]) -> AIG:
     """Rebuild with selected variables replaced by constant literals.
 
     ``overrides`` maps variable index -> constant literal (0 or 1).
@@ -52,8 +50,8 @@ def approximate_to_size(
     max_ands: int = 5000,
     n_patterns: int = 4096,
     level_margin: int = 3,
-    rng: Optional[np.random.Generator] = None,
-    patterns: Optional[np.ndarray] = None,
+    rng: np.random.Generator | None = None,
+    patterns: np.ndarray | None = None,
 ) -> AIG:
     """Shrink the graph below ``max_ands`` by constant substitution.
 

@@ -11,14 +11,14 @@ All word operands are little-endian literal lists (index 0 = LSB).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from functools import lru_cache
-from typing import List, Sequence, Tuple
 
 from repro.aig.aig import AIG, CONST0, CONST1, lit_not
 from repro.aig.isop import isop
 
 
-def full_adder(aig: AIG, a: int, b: int, cin: int) -> Tuple[int, int]:
+def full_adder(aig: AIG, a: int, b: int, cin: int) -> tuple[int, int]:
     """One-bit full adder; returns ``(sum, carry)``."""
     s = aig.add_xor(aig.add_xor(a, b), cin)
     c = aig.add_maj3(a, b, cin)
@@ -27,13 +27,13 @@ def full_adder(aig: AIG, a: int, b: int, cin: int) -> Tuple[int, int]:
 
 def ripple_adder(
     aig: AIG, a: Sequence[int], b: Sequence[int], cin: int = CONST0
-) -> List[int]:
+) -> list[int]:
     """Ripple-carry adder; returns ``width + 1`` sum bits (last = carry)."""
     if len(a) != len(b):
         raise ValueError("operand widths differ")
     out = []
     carry = cin
-    for ai, bi in zip(a, b):
+    for ai, bi in zip(a, b, strict=True):
         s, carry = full_adder(aig, ai, bi, carry)
         out.append(s)
     out.append(carry)
@@ -42,7 +42,7 @@ def ripple_adder(
 
 def ripple_subtractor(
     aig: AIG, a: Sequence[int], b: Sequence[int]
-) -> Tuple[List[int], int]:
+) -> tuple[list[int], int]:
     """``a - b`` via two's complement; returns ``(diff bits, borrow)``.
 
     ``borrow`` is 1 when ``a < b`` (unsigned).
@@ -66,11 +66,11 @@ def comparator_less(aig: AIG, a: Sequence[int], b: Sequence[int]) -> int:
 
 def equality(aig: AIG, a: Sequence[int], b: Sequence[int]) -> int:
     """``a == b`` literal."""
-    xors = [aig.add_xor(x, y) for x, y in zip(a, b)]
+    xors = [aig.add_xor(x, y) for x, y in zip(a, b, strict=True)]
     return lit_not(aig.add_or_multi(xors))
 
 
-def multiplier(aig: AIG, a: Sequence[int], b: Sequence[int]) -> List[int]:
+def multiplier(aig: AIG, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Array multiplier; returns ``len(a) + len(b)`` product bits."""
     width = len(a) + len(b)
     acc = [CONST0] * width
@@ -125,12 +125,12 @@ def ripple_chain(word_width: int = 4, n_nodes: int = 5000) -> AIG:
     return aig
 
 
-def ones_counter(aig: AIG, lits: Sequence[int]) -> List[int]:
+def ones_counter(aig: AIG, lits: Sequence[int]) -> list[int]:
     """Population count of the literals as a little-endian word.
 
     Built as a balanced adder tree over 1-bit words.
     """
-    words: List[List[int]] = [[lit] for lit in lits]
+    words: list[list[int]] = [[lit] for lit in lits]
     if not words:
         return [CONST0]
     while len(words) > 1:
@@ -165,7 +165,7 @@ def symmetric_function(aig: AIG, lits: Sequence[int], signature: str) -> int:
             continue
         bits = [(value >> i) & 1 for i in range(len(count))]
         match = aig.add_and_multi(
-            [c if bit else lit_not(c) for c, bit in zip(count, bits)]
+            [c if bit else lit_not(c) for c, bit in zip(count, bits, strict=True)]
         )
         terms.append(match)
     return aig.add_or_multi(terms)

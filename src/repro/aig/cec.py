@@ -8,8 +8,6 @@ Used in tests and available to library users who modify circuits.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
 import numpy as np
 
 from repro.aig.aig import AIG, lit_var
@@ -19,9 +17,9 @@ from repro.utils.rng import rng_for
 
 def simulate_differs(
     a: AIG, b: AIG, n_patterns: int = 4096,
-    rng: Optional[np.random.Generator] = None,
-    backend: Optional[str] = None,
-) -> Optional[np.ndarray]:
+    rng: np.random.Generator | None = None,
+    backend: str | None = None,
+) -> np.ndarray | None:
     """Random-simulation counterexample search.
 
     Returns an input row where the graphs differ, or None if none was
@@ -72,9 +70,9 @@ def _output_bdd(aig: AIG, manager, output: int) -> int:
 
 def check_equivalence(
     a: AIG, b: AIG, n_patterns: int = 4096,
-    rng: Optional[np.random.Generator] = None,
-    backend: Optional[str] = None,
-) -> Tuple[bool, Optional[np.ndarray]]:
+    rng: np.random.Generator | None = None,
+    backend: str | None = None,
+) -> tuple[bool, np.ndarray | None]:
     """Prove or refute equivalence.
 
     Returns ``(True, None)`` on a BDD proof of equivalence or

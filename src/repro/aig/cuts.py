@@ -16,20 +16,20 @@ Python recursion limit on exactly those deep-cone cuts.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
 
 from repro.aig.aig import AIG
 from repro.aig.isop import full_mask
 from repro.aig.opt import traverse
 
-Cut = Tuple[int, ...]  # sorted variable indices
+Cut = tuple[int, ...]  # sorted variable indices
 
 TRIVIAL_TABLE = 0b10  # the identity function over one leaf
 
 
 @lru_cache(maxsize=1 << 14)
-def _expand_map(positions: Cut, k_sup: int) -> Tuple[int, ...]:
+def _expand_map(positions: Cut, k_sup: int) -> tuple[int, ...]:
     """Minterm projection for expanding a sub-cut table to a superset.
 
     ``positions[i]`` is the position of the sub-cut's leaf ``i`` in
@@ -64,12 +64,12 @@ def _expand(table: int, sub: Cut, sup: Cut) -> int:
 
 
 def _merge_node_cuts(
-    cuts: Dict[int, List[Cut]], aig: AIG, var: int, k: int, max_cuts: int
-) -> Tuple[List[Cut], Dict[Cut, Tuple[Cut, Cut]]]:
+    cuts: dict[int, list[Cut]], aig: AIG, var: int, k: int, max_cuts: int
+) -> tuple[list[Cut], dict[Cut, tuple[Cut, Cut]]]:
     """Pruned cut list for ``var`` plus each cut's source fanin pair."""
     f0, f1 = aig.fanins(var)
     v0, v1 = f0 >> 1, f1 >> 1
-    merged: Dict[Cut, Tuple[Cut, Cut]] = {(var,): None}
+    merged: dict[Cut, tuple[Cut, Cut]] = {(var,): None}
     for c0 in cuts[v0]:
         s0 = set(c0)
         len0 = len(c0)
@@ -82,8 +82,8 @@ def _merge_node_cuts(
             if len(leaves) <= k and leaves not in merged:
                 merged[leaves] = (c0, c1)
     # Drop dominated cuts (supersets of another cut).
-    pruned: List[Cut] = []
-    pruned_sets: List[set] = []
+    pruned: list[Cut] = []
+    pruned_sets: list[set] = []
     for cand in sorted(merged, key=len):
         cs = set(cand)
         # Candidates are distinct sorted tuples, so distinct sets;
@@ -98,14 +98,14 @@ def _merge_node_cuts(
 
 def enumerate_cuts(
     aig: AIG, k: int = 4, max_cuts: int = 8
-) -> Dict[int, List[Cut]]:
+) -> dict[int, list[Cut]]:
     """Per-variable k-feasible cuts (including the trivial cut).
 
     Returns a dict mapping each variable index to a list of cuts; each
     cut is a sorted tuple of leaf variable indices.  The constant
     variable never appears as a leaf.
     """
-    cuts: Dict[int, List[Cut]] = {0: [()]}
+    cuts: dict[int, list[Cut]] = {0: [()]}
     for i in range(aig.n_inputs):
         cuts[1 + i] = [(1 + i,)]
     base = aig.n_inputs + 1
@@ -117,7 +117,7 @@ def enumerate_cuts(
 
 def enumerate_cuts_with_truths(
     aig: AIG, k: int = 4, max_cuts: int = 8
-) -> Dict[int, List[Tuple[Cut, int]]]:
+) -> dict[int, list[tuple[Cut, int]]]:
     """Cuts plus the node's truth table over each cut's leaves.
 
     Same enumeration as :func:`enumerate_cuts`, but every surviving
@@ -126,14 +126,14 @@ def enumerate_cuts_with_truths(
     ``(cut, table)`` pairs; the table of the trivial cut ``(var,)`` is
     the identity ``0b10``.
     """
-    cuts: Dict[int, List[Cut]] = {0: [()]}
-    tables: Dict[int, Dict[Cut, int]] = {0: {(): 0}}
+    cuts: dict[int, list[Cut]] = {0: [()]}
+    tables: dict[int, dict[Cut, int]] = {0: {(): 0}}
     for i in range(aig.n_inputs):
         v = 1 + i
         cuts[v] = [(v,)]
         tables[v] = {(v,): TRIVIAL_TABLE}
     base = aig.n_inputs + 1
-    out: Dict[int, List[Tuple[Cut, int]]] = {}
+    out: dict[int, list[tuple[Cut, int]]] = {}
     for v in range(base):
         out[v] = [(c, tables[v][c]) for c in cuts.get(v, [])]
     for j in range(aig.num_ands):
@@ -142,7 +142,7 @@ def enumerate_cuts_with_truths(
         v0, v1 = f0 >> 1, f1 >> 1
         kept, merged = _merge_node_cuts(cuts, aig, var, k, max_cuts)
         cuts[var] = kept
-        node_tables: Dict[Cut, int] = {(var,): TRIVIAL_TABLE}
+        node_tables: dict[Cut, int] = {(var,): TRIVIAL_TABLE}
         for cut in kept:
             if cut == (var,):
                 continue

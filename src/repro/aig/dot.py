@@ -7,11 +7,10 @@ boxes, outputs as double circles — the conventional AIG rendering.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
 
 from repro.aig.aig import AIG, lit_var
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def aig_to_dot(aig: AIG, graph_name: str = "aig") -> str:
@@ -46,7 +45,7 @@ def aig_to_dot(aig: AIG, graph_name: str = "aig") -> str:
 
 
 def write_dot(aig: AIG, path: PathLike,
-              graph_name: Optional[str] = None) -> None:
+              graph_name: str | None = None) -> None:
     """Write DOT to a file (graph name defaults to the file stem)."""
     path = Path(path)
     name = graph_name if graph_name is not None else path.stem

@@ -12,9 +12,8 @@ Cubes are tuples of ``(var, value)`` pairs sorted by variable.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
 
-Cube = Tuple[Tuple[int, int], ...]
+Cube = tuple[tuple[int, int], ...]
 
 
 @lru_cache(maxsize=None)
@@ -50,7 +49,7 @@ def cofactor1(table: int, k: int, i: int) -> int:
     return half | (half >> s)
 
 
-def support(table: int, k: int) -> List[int]:
+def support(table: int, k: int) -> list[int]:
     """Variables the function actually depends on."""
     return [
         i for i in range(k) if cofactor0(table, k, i) != cofactor1(table, k, i)
@@ -66,7 +65,7 @@ def cube_table(cube: Cube, k: int) -> int:
     return table
 
 
-def cover_table(cover: List[Cube], k: int) -> int:
+def cover_table(cover: list[Cube], k: int) -> int:
     """Truth table of a cover (OR of cubes)."""
     table = 0
     for cube in cover:
@@ -74,7 +73,7 @@ def cover_table(cover: List[Cube], k: int) -> int:
     return table
 
 
-def isop(lower: int, upper: int, k: int) -> Tuple[List[Cube], int]:
+def isop(lower: int, upper: int, k: int) -> tuple[list[Cube], int]:
     """Minato–Morreale irredundant SOP for the interval [lower, upper].
 
     Returns ``(cover, table)`` where ``lower <= table <= upper``
@@ -87,7 +86,7 @@ def isop(lower: int, upper: int, k: int) -> Tuple[List[Cube], int]:
     return cover, table
 
 
-def _isop(lower: int, upper: int, k: int, top: int) -> Tuple[List[Cube], int]:
+def _isop(lower: int, upper: int, k: int, top: int) -> tuple[list[Cube], int]:
     if lower == 0:
         return [], 0
     if upper == full_mask(k):

@@ -19,8 +19,6 @@ return (so counting and building stay in lockstep).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 from repro.aig.aig import AIG, CONST0, CONST1, GateOps, lit_not
 
 
@@ -45,7 +43,7 @@ class VirtualBuilder(GateOps):
 
     def __init__(self, aig: AIG, budget: int = None):
         self._real_strash = aig._strash
-        self._local: Dict[Tuple[int, int], int] = {}
+        self._local: dict[tuple[int, int], int] = {}
         self._next_var = aig.num_vars
         self.budget = budget
         self.n_new = 0

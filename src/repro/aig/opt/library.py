@@ -20,8 +20,8 @@ winner is ever built.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 from repro.aig.aig import AIG, CONST0, CONST1, lit_not
 from repro.aig.isop import full_mask
@@ -39,14 +39,14 @@ class Recipe:
     """
 
     n_leaves: int
-    nodes: Tuple[Tuple[int, int], ...]
+    nodes: tuple[tuple[int, int], ...]
     out: int
     size: int
 
 
 def _encode(aig: AIG) -> Recipe:
     """Flatten a compact single-output AIG into a Recipe."""
-    nodes = tuple(zip(aig._fanin0, aig._fanin1))
+    nodes = tuple(zip(aig._fanin0, aig._fanin1, strict=True))
     return Recipe(
         n_leaves=aig.n_inputs,
         nodes=nodes,
@@ -65,11 +65,11 @@ class NpnLibrary:
 
     def __init__(self, max_vars: int = MAX_NPN_VARS):
         self.max_vars = max_vars
-        self._recipes: Dict[Tuple[int, int], Recipe] = {}
+        self._recipes: dict[tuple[int, int], Recipe] = {}
         # (k, table) -> (recipe, perm, phase, out_neg): canonicalization
         # and recipe lookup collapsed into one dict hit, since
         # instantiate() runs hundreds of thousands of times per pass.
-        self._instances: Dict[Tuple[int, int], tuple] = {}
+        self._instances: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     def recipe(self, ctable: int, k: int) -> Recipe:
@@ -118,7 +118,7 @@ class NpnLibrary:
         else:
             recipe, perm, phase, out_neg = found
         # Canonical input perm[i] is original leaf i xor phase bit i.
-        vals: List[int] = [CONST0] * (1 + k)
+        vals: list[int] = [CONST0] * (1 + k)
         for i in range(k):
             vals[1 + perm[i]] = leaves[i] ^ ((phase >> i) & 1)
         for f0, f1 in recipe.nodes:

@@ -27,14 +27,13 @@ from __future__ import annotations
 
 from functools import lru_cache
 from itertools import permutations
-from typing import Dict, List, Tuple
 
 import numpy as np
 
 MAX_NPN_VARS = 4
 
 # (canonical table, perm, phase, out_neg) memoized per (k, table).
-_canon_cache: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...], int, bool]] = {}
+_canon_cache: dict[tuple[int, int], tuple[int, tuple[int, ...], int, bool]] = {}
 
 
 @lru_cache(maxsize=None)
@@ -47,8 +46,8 @@ def _transform_tables(k: int):
     is the ``(perm, phase)`` pair of row ``t``.
     """
     n = 1 << k
-    rows: List[List[int]] = []
-    meta: List[Tuple[Tuple[int, ...], int]] = []
+    rows: list[list[int]] = []
+    meta: list[tuple[tuple[int, ...], int]] = []
     for perm in permutations(range(k)):
         for phase in range(1 << k):
             row = []
@@ -64,7 +63,7 @@ def _transform_tables(k: int):
     return np.asarray(rows, dtype=np.int64), meta, weights
 
 
-def npn_canon(table: int, k: int) -> Tuple[int, Tuple[int, ...], int, bool]:
+def npn_canon(table: int, k: int) -> tuple[int, tuple[int, ...], int, bool]:
     """Canonical NPN representative of ``table`` plus the transform.
 
     See the module docstring for the exact transform semantics.  Only

@@ -35,7 +35,6 @@ safe.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
 
 import numpy as np
 
@@ -48,11 +47,11 @@ from repro.aig.opt.traverse import bounded_cut, cut_truth, ffc_leaves, mffc_size
 from repro.utils.rng import rng_for
 
 
-def _map_lit(mapping: List[int], lit: int) -> int:
+def _map_lit(mapping: list[int], lit: int) -> int:
     return mapping[lit >> 1] ^ (lit & 1)
 
 
-def _sync_levels(aig: AIG, lv: List[int]) -> None:
+def _sync_levels(aig: AIG, lv: list[int]) -> None:
     """Extend the incremental level array to cover new nodes."""
     base = aig.n_inputs + 1
     while len(lv) < aig.num_vars:
@@ -116,13 +115,13 @@ def _tree_internal_mask(aig: AIG, fanout: np.ndarray) -> np.ndarray:
     return internal
 
 
-def _gather_and_leaves(aig: AIG, var: int, fanout: np.ndarray) -> List[int]:
+def _gather_and_leaves(aig: AIG, var: int, fanout: np.ndarray) -> list[int]:
     """Leaves of the single-fanout AND tree rooted at ``var``.
 
     A fanin literal is expanded when it is a non-complemented AND node
     referenced only once; otherwise it is a leaf.
     """
-    leaves: List[int] = []
+    leaves: list[int] = []
     stack = list(aig.fanins(var))
     while stack:
         lit = stack.pop()
@@ -141,7 +140,7 @@ def rewrite(
     aig: AIG,
     k: int = 4,
     max_cuts: int = 8,
-    library: Optional[NpnLibrary] = None,
+    library: NpnLibrary | None = None,
 ) -> AIG:
     """DAG-aware NPN-library cut rewriting (ABC ``rewrite`` analogue).
 
@@ -259,8 +258,8 @@ def fraig_lite(
     n_words: int = 4,
     max_leaves: int = 12,
     max_visit: int = 48,
-    rng: Optional[np.random.Generator] = None,
-    backend: Optional[str] = None,
+    rng: np.random.Generator | None = None,
+    backend: str | None = None,
 ) -> AIG:
     """Merge simulation-equivalent nodes after a bounded exact proof.
 

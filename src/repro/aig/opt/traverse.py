@@ -12,12 +12,12 @@ these helpers.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.aig.aig import AIG
 from repro.aig.isop import full_mask, var_mask
 
-Cut = Tuple[int, ...]
+Cut = tuple[int, ...]
 
 
 def cut_truth(aig: AIG, root: int, leaves: Sequence[int]) -> int:
@@ -87,7 +87,7 @@ def mffc_size(aig: AIG, var: int, fanout: Sequence[int]) -> int:
 
 def ffc_leaves(
     aig: AIG, var: int, fanout: Sequence[int], max_leaves: int
-) -> Optional[Cut]:
+) -> Cut | None:
     """Leaf variables of the fanout-free cone of ``var`` (or None).
 
     Expands single-fanout AND fanins; everything else is a leaf.
@@ -114,7 +114,7 @@ def bounded_cut(
     roots: Iterable[int],
     max_leaves: int = 12,
     max_visit: int = 48,
-) -> Optional[Cut]:
+) -> Cut | None:
     """A common cut of ``roots`` found by bounded backward expansion.
 
     AND nodes are expanded until the visit budget runs out; the

@@ -8,8 +8,8 @@ accuracy), Fig. 4 (win-rate / top-1% counts).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.contest.evaluate import Score, summarize
 from repro.flows.portfolio import virtual_best
 
 
-def table3(scores_by_team: Dict[str, List[Score]]) -> List[dict]:
+def table3(scores_by_team: dict[str, list[Score]]) -> list[dict]:
     """Table III rows sorted like the paper (test accuracy descending)."""
     rows = []
     for team, scores in scores_by_team.items():
@@ -28,10 +28,10 @@ def table3(scores_by_team: Dict[str, List[Score]]) -> List[dict]:
     return rows
 
 
-def pareto_curve(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+def pareto_curve(points: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
     """Pareto frontier of (size, accuracy) points: smaller-is-better
     size, larger-is-better accuracy, sorted by size ascending."""
-    frontier: List[Tuple[float, float]] = []
+    frontier: list[tuple[float, float]] = []
     for size, acc in sorted(points):
         if not frontier or acc > frontier[-1][1]:
             frontier.append((size, acc))
@@ -39,9 +39,9 @@ def pareto_curve(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, flo
 
 
 def accuracy_size_tradeoff(
-    scores_by_team: Dict[str, List[Score]],
-    accuracy_grid: Optional[Sequence[float]] = None,
-) -> List[Tuple[float, float]]:
+    scores_by_team: dict[str, list[Score]],
+    accuracy_grid: Sequence[float] | None = None,
+) -> list[tuple[float, float]]:
     """Fig. 2's virtual-best trade-off curve.
 
     A Lagrangian sweep: for each multiplier, pick per benchmark the
@@ -54,14 +54,14 @@ def accuracy_size_tradeoff(
     target is unreachable) — the form the paper's Fig. 2 annotations
     quote ("~x ANDs buy y% accuracy").
     """
-    by_benchmark: Dict[str, List[Score]] = {}
+    by_benchmark: dict[str, list[Score]] = {}
     for scores in scores_by_team.values():
         for s in scores:
             if s.legal:
                 by_benchmark.setdefault(s.benchmark, []).append(s)
     if not by_benchmark:
         return []
-    curve: List[Tuple[float, float]] = []
+    curve: list[tuple[float, float]] = []
     lambdas = np.geomspace(1e-6, 1e-1, 60)
     for lam in lambdas:
         total_acc = 0.0
@@ -84,7 +84,7 @@ def accuracy_size_tradeoff(
 
 
 def size_needed_for_accuracy(
-    frontier: Sequence[Tuple[float, float]], accuracy: float
+    frontier: Sequence[tuple[float, float]], accuracy: float
 ) -> float:
     """Smallest average size on the frontier reaching ``accuracy``."""
     feasible = [size for size, acc in frontier if acc >= accuracy]
@@ -94,8 +94,8 @@ def size_needed_for_accuracy(
 
 
 def per_benchmark_best(
-    scores_by_team: Dict[str, List[Score]]
-) -> Dict[str, float]:
+    scores_by_team: dict[str, list[Score]]
+) -> dict[str, float]:
     """Fig. 3: maximum accuracy achieved on each benchmark."""
     return {
         s.benchmark: s.test_accuracy
@@ -104,8 +104,8 @@ def per_benchmark_best(
 
 
 def win_rates(
-    scores_by_team: Dict[str, List[Score]], top_tolerance: float = 0.01
-) -> Dict[str, Dict[str, int]]:
+    scores_by_team: dict[str, list[Score]], top_tolerance: float = 0.01
+) -> dict[str, dict[str, int]]:
     """Fig. 4: per team, #benchmarks where it is best / near the top.
 
     ``top_tolerance`` is an **absolute** accuracy margin, not a
@@ -123,9 +123,9 @@ def win_rates(
     without one fall back to positional alignment, which is exact for
     complete in-memory grids.
     """
-    by_benchmark: Dict[Tuple[str, object], Dict[str, Score]] = {}
+    by_benchmark: dict[tuple[str, object], dict[str, Score]] = {}
     for team, scores in scores_by_team.items():
-        occurrence: Dict[str, int] = {}
+        occurrence: dict[str, int] = {}
         for s in scores:
             if s.seed is not None:
                 trial: object = ("seed", s.seed)
@@ -148,7 +148,7 @@ def win_rates(
     return out
 
 
-def format_table3(rows: List[dict]) -> str:
+def format_table3(rows: list[dict]) -> str:
     """Render Table III the way the paper prints it."""
     lines = [
         f"{'team':>8} {'test acc':>9} {'And gates':>10} "
@@ -164,9 +164,9 @@ def format_table3(rows: List[dict]) -> str:
 
 
 def per_category_table(
-    scores_by_team: Dict[str, List[Score]],
-    categories: Dict[str, str],
-) -> Dict[str, Dict[str, float]]:
+    scores_by_team: dict[str, list[Score]],
+    categories: dict[str, str],
+) -> dict[str, dict[str, float]]:
     """Mean test accuracy per (team, benchmark category).
 
     ``categories`` maps benchmark name -> category.  This backs the
@@ -174,9 +174,9 @@ def per_category_table(
     for learners, image comparisons favour forests, symmetric
     functions favour matching/periodic models).
     """
-    out: Dict[str, Dict[str, float]] = {}
+    out: dict[str, dict[str, float]] = {}
     for team, scores in scores_by_team.items():
-        buckets: Dict[str, List[float]] = {}
+        buckets: dict[str, list[float]] = {}
         for s in scores:
             cat = categories.get(s.benchmark, "unknown")
             buckets.setdefault(cat, []).append(s.test_accuracy)
@@ -190,21 +190,21 @@ def per_category_table(
 class ContestRun:
     """Convenience bundle: every team's scores over a benchmark set."""
 
-    scores_by_team: Dict[str, List[Score]]
+    scores_by_team: dict[str, list[Score]]
 
-    def table3(self) -> List[dict]:
+    def table3(self) -> list[dict]:
         return table3(self.scores_by_team)
 
-    def virtual_best(self) -> List[Score]:
+    def virtual_best(self) -> list[Score]:
         return virtual_best(self.scores_by_team)
 
-    def win_rates(self) -> Dict[str, Dict[str, int]]:
+    def win_rates(self) -> dict[str, dict[str, int]]:
         return win_rates(self.scores_by_team)
 
 
 def run_contest(
     benchmarks: Sequence[object],
-    flows: Union[Dict[str, object], Sequence[str]],
+    flows: dict[str, object] | Sequence[str],
     n_train: int = 1000,
     n_valid: int = 1000,
     n_test: int = 1000,
@@ -213,10 +213,10 @@ def run_contest(
     verbose: bool = False,
     jobs: int = 1,
     trials: int = 1,
-    out_dir: Optional[str] = None,
+    out_dir: str | None = None,
     resume: bool = True,
     keep_solutions: bool = False,
-    shard: Optional[str] = None,
+    shard: str | None = None,
 ) -> ContestRun:
     """Execute a set of flows over a benchmark subset and score them.
 
@@ -316,7 +316,7 @@ def merge_contest_runs(out_dirs: Sequence[str]) -> ContestRun:
 
 def _run_contest_inline(
     benchmarks: Sequence[object],
-    flows: Dict[str, object],
+    flows: dict[str, object],
     n_train: int,
     n_valid: int,
     n_test: int,
@@ -328,7 +328,7 @@ def _run_contest_inline(
     """The pre-runner serial loop, kept for non-importable callables."""
     from repro.contest import DEFAULT_REGISTRY, evaluate_solution
 
-    scores_by_team: Dict[str, List[Score]] = {name: [] for name in flows}
+    scores_by_team: dict[str, list[Score]] = {name: [] for name in flows}
     for entry in benchmarks:
         if isinstance(entry, int):
             spec = DEFAULT_REGISTRY.by_index(entry)

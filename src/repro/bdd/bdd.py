@@ -8,7 +8,7 @@ by permuting columns before building.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -22,10 +22,10 @@ class BDD:
     def __init__(self, n_vars: int):
         self.n_vars = n_vars
         # entries[i] = (var, low, high) for i >= 2.
-        self._entries: List[Tuple[int, int, int]] = []
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
-        self._not_cache: Dict[int, int] = {}
+        self._entries: list[tuple[int, int, int]] = []
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def var_of(self, node: int) -> int:
@@ -58,7 +58,7 @@ class BDD:
         return self.mk(var, FALSE, TRUE)
 
     # ------------------------------------------------------------------
-    def _cofactors(self, node: int, var: int) -> Tuple[int, int]:
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
         if self.var_of(node) == var:
             return self.low(node), self.high(node)
         return node, node
@@ -83,7 +83,7 @@ class BDD:
         return result
 
     @staticmethod
-    def _apply_terminal(op: str, f: int, g: int) -> Optional[int]:
+    def _apply_terminal(op: str, f: int, g: int) -> int | None:
         if op == "and":
             if f == FALSE or g == FALSE:
                 return FALSE
@@ -193,7 +193,7 @@ class BDD:
 
         if aig is None:
             aig = AIG(self.n_vars)
-        memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        memo: dict[int, int] = {FALSE: 0, TRUE: 1}
 
         def rec(f: int) -> int:
             found = memo.get(f)

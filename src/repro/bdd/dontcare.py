@@ -15,14 +15,12 @@ same manager), produce a small BDD ``g`` with ``g == f`` on ``c``:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 from repro.bdd.bdd import BDD, FALSE, TRUE
 
 
 def restrict(bdd: BDD, f: int, c: int) -> int:
     """One-sided matching: Coudert-Madre restrict of ``f`` to care ``c``."""
-    cache: Dict[Tuple[int, int], int] = {}
+    cache: dict[tuple[int, int], int] = {}
 
     def rec(f: int, c: int) -> int:
         if c == FALSE:
@@ -56,7 +54,7 @@ def minimize_dontcare(
     complement_bias: int = 100,
 ) -> int:
     """Two-sided (and optionally complemented) sibling matching."""
-    cache: Dict[Tuple[int, int], int] = {}
+    cache: dict[tuple[int, int], int] = {}
 
     def rec(f: int, c: int) -> int:
         if c == FALSE:

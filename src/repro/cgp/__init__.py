@@ -7,8 +7,8 @@ population bootstrapping from an existing AIG (e.g. one produced by a
 decision tree or espresso).
 """
 
-from repro.cgp.genome import AIG_FUNCTIONS, XAIG_FUNCTIONS, CGPGenome
 from repro.cgp.evolve import CGPEvolver, evolve_from_aig
+from repro.cgp.genome import AIG_FUNCTIONS, XAIG_FUNCTIONS, CGPGenome
 
 __all__ = [
     "AIG_FUNCTIONS",

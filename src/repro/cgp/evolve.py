@@ -10,8 +10,8 @@ reshuffles every ``batch_generations`` generations.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,8 +24,8 @@ from repro.utils.bitops import pack_bits, popcount64
 class EvolutionLog:
     """Best-fitness trace, one entry per generation."""
 
-    fitness: List[float] = field(default_factory=list)
-    mutation_rate: List[float] = field(default_factory=list)
+    fitness: list[float] = field(default_factory=list)
+    mutation_rate: list[float] = field(default_factory=list)
 
 
 class CGPEvolver:
@@ -37,9 +37,9 @@ class CGPEvolver:
         lam: int = 4,
         mutation_rate: float = 0.05,
         function_set: Sequence[str] = AIG_FUNCTIONS,
-        batch_size: Optional[int] = None,
+        batch_size: int | None = None,
         batch_generations: int = 1000,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ):
         self.n_nodes = n_nodes
         self.lam = lam
@@ -66,8 +66,8 @@ class CGPEvolver:
         X: np.ndarray,
         y: np.ndarray,
         generations: int = 2000,
-        seed_genome: Optional[CGPGenome] = None,
-    ) -> Tuple[CGPGenome, float]:
+        seed_genome: CGPGenome | None = None,
+    ) -> tuple[CGPGenome, float]:
         """Evolve and return ``(best_genome, training_accuracy)``."""
         X = np.asarray(X, dtype=np.uint8)
         y = np.asarray(y, dtype=np.uint8).ravel()
@@ -137,10 +137,10 @@ def evolve_from_aig(
     X: np.ndarray,
     y: np.ndarray,
     generations: int = 2000,
-    n_nodes: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
+    n_nodes: int | None = None,
+    rng: np.random.Generator | None = None,
     **kwargs,
-) -> Tuple[CGPGenome, float]:
+) -> tuple[CGPGenome, float]:
     """Bootstrapped evolution: seed the population from an AIG."""
     if rng is None:
         rng = np.random.default_rng(0)

@@ -12,7 +12,7 @@ XOR and XNOR.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -63,12 +63,12 @@ def _f_xnor(a, b):
     return (a ^ b) ^ _ONES
 
 
-AIG_FUNCTIONS: Tuple[str, ...] = (
+AIG_FUNCTIONS: tuple[str, ...] = (
     "and", "and_na", "and_nb", "nor", "or", "nand", "not", "buf",
 )
-XAIG_FUNCTIONS: Tuple[str, ...] = AIG_FUNCTIONS + ("xor", "xnor")
+XAIG_FUNCTIONS: tuple[str, ...] = AIG_FUNCTIONS + ("xor", "xnor")
 
-_IMPL: Dict[str, Callable] = {
+_IMPL: dict[str, Callable] = {
     "and": _f_and,
     "and_na": _f_and_na,
     "and_nb": _f_and_nb,
@@ -90,9 +90,9 @@ class CGPGenome:
         n_inputs: int,
         n_nodes: int,
         function_set: Sequence[str] = AIG_FUNCTIONS,
-        funcs: Optional[np.ndarray] = None,
-        in0: Optional[np.ndarray] = None,
-        in1: Optional[np.ndarray] = None,
+        funcs: np.ndarray | None = None,
+        in0: np.ndarray | None = None,
+        in1: np.ndarray | None = None,
         output: int = 0,
     ):
         self.n_inputs = n_inputs
@@ -131,7 +131,7 @@ class CGPGenome:
         )
 
     # ------------------------------------------------------------------
-    def active_nodes(self) -> List[int]:
+    def active_nodes(self) -> list[int]:
         """Node indices in the phenotype, in evaluation order."""
         active = set()
         stack = [self.output - self.n_inputs]
@@ -150,7 +150,7 @@ class CGPGenome:
     def evaluate_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
         """Bit-parallel evaluation; returns packed output row."""
         n_words = packed_inputs.shape[1]
-        values: Dict[int, np.ndarray] = {
+        values: dict[int, np.ndarray] = {
             i: packed_inputs[i] for i in range(self.n_inputs)
         }
         for node in self.active_nodes():
@@ -210,7 +210,7 @@ class CGPGenome:
     def to_aig(self) -> AIG:
         """Compile the phenotype into an AIG."""
         aig = AIG(self.n_inputs)
-        lits: Dict[int, int] = {
+        lits: dict[int, int] = {
             i: aig.input_lit(i) for i in range(self.n_inputs)
         }
         for node in self.active_nodes():
@@ -247,8 +247,8 @@ class CGPGenome:
     @staticmethod
     def from_aig(
         aig: AIG,
-        n_nodes: Optional[int] = None,
-        rng: Optional[np.random.Generator] = None,
+        n_nodes: int | None = None,
+        rng: np.random.Generator | None = None,
         function_set: Sequence[str] = AIG_FUNCTIONS,
     ) -> "CGPGenome":
         """Bootstrap a genome from an AIG (Team 9's initialization).

@@ -48,13 +48,13 @@ times every backend on one learned circuit and checks bit-agreement.
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.analysis import format_table3, run_contest
 from repro.contest import DEFAULT_REGISTRY, evaluate_solution
 
 
-def _selected_specs(parser, patterns) -> List[object]:
+def _selected_specs(parser, patterns) -> list[object]:
     """Resolve benchmark selectors through the problem registry.
 
     Unknown names carry the registry's near-match suggestions into the
@@ -147,7 +147,7 @@ def _cmd_run(parser, args) -> None:
         print(f"wrote {args.out}")
 
 
-def _apply_sim_backend(parser, name: Optional[str]) -> None:
+def _apply_sim_backend(parser, name: str | None) -> None:
     """Install ``--sim-backend`` as the session default (parent process;
     the runner's pool initializer forwards it to workers)."""
     if name is None:
@@ -350,6 +350,19 @@ def _timed(fn, *fn_args) -> float:
     return time.perf_counter() - t0
 
 
+def _cmd_lint(parser, args) -> None:
+    """Run the repo-specific determinism/safety lints."""
+    from repro.devtools.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv.extend(["--format", args.format])
+    code = lint_main(argv)
+    if code:
+        raise SystemExit(code)
+
+
 def _default_contest_flows() -> list:
     from repro.flows import TEAM_FLOW_NAMES
 
@@ -501,10 +514,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--repeats", type=int, default=5,
                          help="warm-run repeats (minimum is reported)")
     bench_p.add_argument("--seed", type=int, default=0)
+
+    lint_p = sub.add_parser(
+        "lint", help="repo-specific determinism/safety static "
+                     "analysis (see repro lint --list-rules)")
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src/repro", "benchmarks"],
+        help="files or directories (default: src/repro benchmarks)")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="report format (json for machines)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> None:
+def main(argv: Sequence[str] | None = None) -> None:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -525,6 +550,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         _cmd_predict(parser, args)
     elif args.command == "bench-sim":
         _cmd_bench_sim(parser, args)
+    elif args.command == "lint":
+        _cmd_lint(parser, args)
 
 
 if __name__ == "__main__":

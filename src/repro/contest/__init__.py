@@ -11,8 +11,8 @@ scores solutions the way the contest did (test accuracy, 5000-AND
 cap, ties broken by size).
 """
 
-from repro.contest.problem import LearningProblem, Solution
 from repro.contest.evaluate import Score, evaluate_solution
+from repro.contest.problem import LearningProblem, Solution
 from repro.contest.registry import (
     DEFAULT_REGISTRY,
     GeneratorFamily,

@@ -8,8 +8,8 @@ accuracy)."""
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class Score:
     num_ands: int
     levels: int
     legal: bool
-    seed: Optional[int] = None
+    seed: int | None = None
 
     @property
     def overfit(self) -> float:
@@ -60,8 +60,8 @@ def evaluate_solutions(
     problem: LearningProblem,
     solutions: Sequence[Solution],
     max_nodes: int = MAX_AND_NODES,
-    backend: Optional[str] = None,
-) -> List[Score]:
+    backend: str | None = None,
+) -> list[Score]:
     """Score many solutions on one benchmark in a single batched pass.
 
     The test/valid/train matrices are stacked and bit-packed once;
@@ -83,7 +83,7 @@ def evaluate_solutions(
     n_test = problem.test.n_samples
     n_valid = problem.valid.n_samples
     scores = []
-    for solution, pred in zip(solutions, preds):
+    for solution, pred in zip(solutions, preds, strict=True):
         aig = solution.aig
         scores.append(
             Score(
@@ -108,13 +108,13 @@ def evaluate_solution(
     problem: LearningProblem,
     solution: Solution,
     max_nodes: int = MAX_AND_NODES,
-    backend: Optional[str] = None,
+    backend: str | None = None,
 ) -> Score:
     """Score a solution on all three sample sets (one simulation pass)."""
     return evaluate_solutions(problem, [solution], max_nodes, backend)[0]
 
 
-def summarize(scores: Iterable[Score]) -> Dict[str, float]:
+def summarize(scores: Iterable[Score]) -> dict[str, float]:
     """Table III row for one team: averages over benchmarks."""
     scores = list(scores)
     if not scores:

@@ -12,8 +12,8 @@ consume our suite directly:
 from __future__ import annotations
 
 import argparse
+from collections.abc import Iterable, Sequence
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
 
 from repro.contest.suite import build_suite, make_problem
 from repro.twolevel.pla import write_pla
@@ -21,7 +21,7 @@ from repro.twolevel.pla import write_pla
 
 def export_benchmarks(
     out_dir: Path,
-    indices: Optional[Sequence[int]] = None,
+    indices: Sequence[int] | None = None,
     samples: int = 6400,
     master_seed: int = 0,
 ) -> Iterable[Path]:
@@ -47,7 +47,7 @@ def export_benchmarks(
     return written
 
 
-def main(argv: Optional[Sequence[str]] = None) -> None:
+def main(argv: Sequence[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out-dir", type=Path, required=True)
     parser.add_argument("--indices", type=int, nargs="*", default=None)

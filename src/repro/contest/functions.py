@@ -12,13 +12,27 @@ and square-rooters are no problem.
 from __future__ import annotations
 
 import math
-from typing import Callable, List
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
 from repro.utils.bitops import rows_to_ints
 
 LabelFn = Callable[[np.ndarray], np.ndarray]
+
+
+def brand_label_fn(
+    fn: Any, n_inputs: int, name: str, **extra: Any
+) -> LabelFn:
+    """Attach the introspection attributes every label function carries
+    (``n_inputs``, a readable ``__name__``, optional extras like the
+    frozen cone's ``aig``)."""
+    fn.n_inputs = n_inputs
+    fn.__name__ = name
+    for key, value in extra.items():
+        setattr(fn, key, value)
+    return fn
 
 
 def _split_words(X: np.ndarray) -> tuple:
@@ -32,12 +46,10 @@ def adder_bit(k: int, bit: int) -> LabelFn:
     def fn(X: np.ndarray) -> np.ndarray:
         a, b = _split_words(X)
         return np.array(
-            [((x + y) >> bit) & 1 for x, y in zip(a, b)], dtype=np.uint8
+            [((x + y) >> bit) & 1 for x, y in zip(a, b, strict=True)], dtype=np.uint8
         )
 
-    fn.n_inputs = 2 * k
-    fn.__name__ = f"adder{k}_bit{bit}"
-    return fn
+    return brand_label_fn(fn, 2 * k, f"adder{k}_bit{bit}")
 
 
 def divider_bit(k: int, part: str) -> LabelFn:
@@ -53,7 +65,7 @@ def divider_bit(k: int, part: str) -> LabelFn:
     def fn(X: np.ndarray) -> np.ndarray:
         a, b = _split_words(X)
         out = []
-        for x, y in zip(a, b):
+        for x, y in zip(a, b, strict=True):
             if y == 0:
                 q, r = (1 << k) - 1, x
             else:
@@ -62,9 +74,7 @@ def divider_bit(k: int, part: str) -> LabelFn:
             out.append((value >> msb) & 1)
         return np.array(out, dtype=np.uint8)
 
-    fn.n_inputs = 2 * k
-    fn.__name__ = f"divider{k}_{part}_msb"
-    return fn
+    return brand_label_fn(fn, 2 * k, f"divider{k}_{part}_msb")
 
 
 def multiplier_bit(k: int, bit: int) -> LabelFn:
@@ -73,12 +83,10 @@ def multiplier_bit(k: int, bit: int) -> LabelFn:
     def fn(X: np.ndarray) -> np.ndarray:
         a, b = _split_words(X)
         return np.array(
-            [((x * y) >> bit) & 1 for x, y in zip(a, b)], dtype=np.uint8
+            [((x * y) >> bit) & 1 for x, y in zip(a, b, strict=True)], dtype=np.uint8
         )
 
-    fn.n_inputs = 2 * k
-    fn.__name__ = f"multiplier{k}_bit{bit}"
-    return fn
+    return brand_label_fn(fn, 2 * k, f"multiplier{k}_bit{bit}")
 
 
 def comparator(k: int) -> LabelFn:
@@ -86,11 +94,9 @@ def comparator(k: int) -> LabelFn:
 
     def fn(X: np.ndarray) -> np.ndarray:
         a, b = _split_words(X)
-        return np.array([int(x > y) for x, y in zip(a, b)], dtype=np.uint8)
+        return np.array([int(x > y) for x, y in zip(a, b, strict=True)], dtype=np.uint8)
 
-    fn.n_inputs = 2 * k
-    fn.__name__ = f"comparator{k}"
-    return fn
+    return brand_label_fn(fn, 2 * k, f"comparator{k}")
 
 
 def sqrt_bit(k: int, which: str) -> LabelFn:
@@ -104,13 +110,11 @@ def sqrt_bit(k: int, which: str) -> LabelFn:
             [(math.isqrt(v) >> bit) & 1 for v in values], dtype=np.uint8
         )
 
-    fn.n_inputs = k
-    fn.__name__ = f"sqrt{k}_{which}"
-    return fn
+    return brand_label_fn(fn, k, f"sqrt{k}_{which}")
 
 
 # The five 16-input symmetric signatures of ex75-ex79 (Table I text).
-SYMMETRIC_SIGNATURES: List[str] = [
+SYMMETRIC_SIGNATURES: list[str] = [
     "00000000111111111",
     "11111100000111111",
     "00011110001111000",
@@ -128,9 +132,7 @@ def symmetric16(signature: str) -> LabelFn:
     def fn(X: np.ndarray) -> np.ndarray:
         return lut[X.sum(axis=1)]
 
-    fn.n_inputs = 16
-    fn.__name__ = f"symmetric16_{signature}"
-    return fn
+    return brand_label_fn(fn, 16, f"symmetric16_{signature}")
 
 
 def parity(n: int = 16) -> LabelFn:
@@ -139,9 +141,7 @@ def parity(n: int = 16) -> LabelFn:
     def fn(X: np.ndarray) -> np.ndarray:
         return (X.sum(axis=1) % 2).astype(np.uint8)
 
-    fn.n_inputs = n
-    fn.__name__ = f"parity{n}"
-    return fn
+    return brand_label_fn(fn, n, f"parity{n}")
 
 
 def t481_like() -> LabelFn:
@@ -165,9 +165,7 @@ def t481_like() -> LabelFn:
             out = out ^ g
         return out.astype(np.uint8)
 
-    fn.n_inputs = 16
-    fn.__name__ = "t481_like"
-    return fn
+    return brand_label_fn(fn, 16, "t481_like")
 
 
 def cordic_sign(angle_bits: int = 12, value_bits: int = 11,
@@ -219,7 +217,7 @@ def cordic_sign(angle_bits: int = 12, value_bits: int = 11,
         angles = rows_to_ints(X[:, :angle_bits])
         thresholds = rows_to_ints(X[:, angle_bits:])
         out = []
-        for a, v in zip(angles, thresholds):
+        for a, v in zip(angles, thresholds, strict=True):
             x, y = cordic(a / (1 << angle_bits))
             target = y if output == "sin_ge" else x
             fixed = int(round(target * scale))
@@ -230,9 +228,7 @@ def cordic_sign(angle_bits: int = 12, value_bits: int = 11,
             out.append(int(shifted >= level))
         return np.array(out, dtype=np.uint8)
 
-    fn.n_inputs = angle_bits + value_bits
-    fn.__name__ = f"cordic_{output}"
-    return fn
+    return brand_label_fn(fn, angle_bits + value_bits, f"cordic_{output}")
 
 
 def wide_sop_like(
@@ -252,6 +248,4 @@ def wide_sop_like(
             out |= (X[:, cols] == vals).all(axis=1)
         return out.astype(np.uint8)
 
-    fn.n_inputs = n_inputs
-    fn.__name__ = f"wide_sop_{seed}"
-    return fn
+    return brand_label_fn(fn, n_inputs, f"wide_sop_{seed}")

@@ -17,15 +17,15 @@ noise) so nearby pixels correlate, as in real images.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 from scipy import ndimage
 
+from repro.contest.functions import brand_label_fn
 from repro.utils.rng import rng_for
 
 # Table II of the paper: (group A -> label 0, group B -> label 1).
-GROUP_COMPARISONS: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [
+GROUP_COMPARISONS: list[tuple[tuple[int, ...], tuple[int, ...]]] = [
     ((0, 1, 2, 3, 4), (5, 6, 7, 8, 9)),
     ((1, 3, 5, 7, 9), (0, 2, 4, 6, 8)),   # odd vs even
     ((0, 1, 2), (3, 4, 5)),
@@ -116,5 +116,6 @@ def group_comparison_sampler(model: ImageModel, comparison_index: int):
         X = (model.prototypes[classes] ^ flips).astype(np.uint8)
         return X, y
 
-    sample.n_inputs = model.n_pixels
-    return sample
+    return brand_label_fn(
+        sample, model.n_pixels, f"group_comparison_{comparison_index}"
+    )

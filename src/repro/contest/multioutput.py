@@ -11,8 +11,8 @@ shared logic once — the whole point of multi-output synthesis.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Tuple
 
 import numpy as np
 
@@ -37,14 +37,14 @@ class MultiOutputProblem:
     test_Y: np.ndarray
 
 
-def adder_all_bits(k: int) -> Tuple[int, int, Callable]:
+def adder_all_bits(k: int) -> tuple[int, int, Callable]:
     """All ``k + 1`` sum bits of a k-bit adder."""
 
     def fn(X: np.ndarray) -> np.ndarray:
         a = rows_to_ints(X[:, :k])
         b = rows_to_ints(X[:, k:])
         out = np.zeros((X.shape[0], k + 1), dtype=np.uint8)
-        for r, (av, bv) in enumerate(zip(a, b)):
+        for r, (av, bv) in enumerate(zip(a, b, strict=True)):
             s = av + bv
             for j in range(k + 1):
                 out[r, j] = (s >> j) & 1
@@ -53,7 +53,7 @@ def adder_all_bits(k: int) -> Tuple[int, int, Callable]:
     return 2 * k, k + 1, fn
 
 
-def multiplier_low_bits(k: int, n_bits: int) -> Tuple[int, int, Callable]:
+def multiplier_low_bits(k: int, n_bits: int) -> tuple[int, int, Callable]:
     """The ``n_bits`` least significant product bits of a k-bit
     multiplier."""
 
@@ -61,7 +61,7 @@ def multiplier_low_bits(k: int, n_bits: int) -> Tuple[int, int, Callable]:
         a = rows_to_ints(X[:, :k])
         b = rows_to_ints(X[:, k:])
         out = np.zeros((X.shape[0], n_bits), dtype=np.uint8)
-        for r, (av, bv) in enumerate(zip(a, b)):
+        for r, (av, bv) in enumerate(zip(a, b, strict=True)):
             p = av * bv
             for j in range(n_bits):
                 out[r, j] = (p >> j) & 1
@@ -72,7 +72,7 @@ def multiplier_low_bits(k: int, n_bits: int) -> Tuple[int, int, Callable]:
 
 def make_multioutput_problem(
     name: str,
-    spec: Tuple[int, int, Callable],
+    spec: tuple[int, int, Callable],
     n_train: int = 2000,
     n_test: int = 1000,
     master_seed: int = 0,

@@ -9,7 +9,6 @@ private until the competition was over").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 from repro.aig.aig import AIG
 from repro.ml.dataset import Dataset
@@ -46,7 +45,7 @@ class Solution:
 
     aig: AIG
     method: str
-    metadata: Dict[str, object] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def num_ands(self) -> int:

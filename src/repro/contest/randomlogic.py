@@ -14,11 +14,12 @@ XOR/MUX nodes (i10-like).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
 from repro.aig.aig import AIG, lit_not
+from repro.contest.functions import brand_label_fn
 from repro.utils.rng import rng_for
 
 
@@ -89,7 +90,7 @@ def random_cone_function(
     def fn(X: np.ndarray) -> np.ndarray:
         return aig.simulate(np.asarray(X, dtype=np.uint8))[:, 0]
 
-    fn.n_inputs = n_inputs
-    fn.__name__ = f"{flavour}_cone_{n_inputs}_{seed}"
-    fn.aig = aig  # exposed for inspection in tests
-    return fn
+    # ``aig`` is exposed for inspection in tests.
+    return brand_label_fn(
+        fn, n_inputs, f"{flavour}_cone_{n_inputs}_{seed}", aig=aig
+    )

@@ -41,19 +41,10 @@ from __future__ import annotations
 import difflib
 import fnmatch
 from collections import OrderedDict
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Any, cast
 
 import numpy as np
 
@@ -86,7 +77,7 @@ class MaterialCache:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
         self.hits = 0
         self.builds = 0
         self.evictions = 0
@@ -111,10 +102,10 @@ class MaterialCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def keys(self) -> List[tuple]:
+    def keys(self) -> list[tuple]:
         return list(self._entries)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         return {
             "entries": len(self._entries),
             "maxsize": self.maxsize,
@@ -133,16 +124,21 @@ class MaterialCache:
 class Materialized:
     """A built generator: exactly one of label_fn / sampler is set."""
 
-    label_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None
-    sampler: Optional[Callable] = None
+    label_fn: Callable[[np.ndarray], np.ndarray] | None = None
+    sampler: Callable | None = None
 
     def sample(
         self, n_inputs: int, n: int, rng: np.random.Generator
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         if self.sampler is not None:
             return self.sampler(n, rng)
+        label_fn = self.label_fn
+        if label_fn is None:
+            raise ValueError(
+                "materialized generator has neither label_fn nor sampler"
+            )
         X = unique_uniform_rows(n_inputs, n, rng)
-        return X, self.label_fn(X)
+        return X, label_fn(X)
 
 
 @dataclass(frozen=True)
@@ -158,18 +154,18 @@ class ProblemSpec:
 
     name: str
     family: str
-    params: Tuple[Tuple[str, object], ...]
+    params: tuple[tuple[str, object], ...]
     n_inputs: int
     category: str
     description: str
-    index: Optional[int] = None
+    index: int | None = None
 
     @property
-    def params_dict(self) -> Dict[str, object]:
+    def params_dict(self) -> dict[str, object]:
         return dict(self.params)
 
     @property
-    def seed_part(self) -> Union[int, str]:
+    def seed_part(self) -> int | str:
         return self.index if self.index is not None else self.name
 
 
@@ -189,10 +185,10 @@ class GeneratorFamily:
     name: str
     category: str
     description: str
-    params: Mapping[str, Tuple[type, object]]
-    n_inputs: Callable[[Dict[str, object]], int]
-    build: Callable[[Dict[str, object], MaterialCache], Materialized]
-    describe: Optional[Callable[[Dict[str, object]], str]] = field(
+    params: Mapping[str, tuple[type, object]]
+    n_inputs: Callable[[dict[str, Any]], int]
+    build: Callable[[dict[str, Any], MaterialCache], Materialized]
+    describe: Callable[[dict[str, Any]], str] | None = field(
         default=None
     )
     #: True when specs materialize to a generative sampler instead of
@@ -203,9 +199,9 @@ class GeneratorFamily:
     #: parameters (e.g. adder ``bit`` defaulting to the MSB of
     #: ``width``).  Runs before the canonical name is derived, so the
     #: name always shows fully resolved parameters.
-    finalize: Optional[Callable[[Dict[str, object]], Dict[str, object]]] = None
+    finalize: Callable[[dict[str, Any]], dict[str, Any]] | None = None
 
-    def param_summary(self) -> List[Tuple[str, Optional[object]]]:
+    def param_summary(self) -> list[tuple[str, object | None]]:
         """``(name, default)`` pairs for display; required parameters
         (no default) appear with ``None``."""
         return [
@@ -213,8 +209,8 @@ class GeneratorFamily:
             for key, (_, default) in self.params.items()
         ]
 
-    def resolve_params(self, overrides: Mapping[str, object]) -> Dict[str, object]:
-        resolved: Dict[str, object] = {}
+    def resolve_params(self, overrides: Mapping[str, object]) -> dict[str, Any]:
+        resolved: dict[str, Any] = {}
         for key, (kind, default) in self.params.items():
             if key in overrides:
                 raw = overrides[key]
@@ -243,9 +239,9 @@ class GeneratorFamily:
             resolved = self.finalize(resolved)
         return resolved
 
-    def spec(self, *, index: Optional[int] = None,
-             name: Optional[str] = None,
-             category: Optional[str] = None,
+    def spec(self, *, index: int | None = None,
+             name: str | None = None,
+             category: str | None = None,
              **overrides) -> ProblemSpec:
         """A concrete :class:`ProblemSpec` of this family.
 
@@ -281,10 +277,10 @@ def canonical_spec_string(family: str, params: Mapping[str, object]) -> str:
     return f"{family}:{joined}"
 
 
-def parse_spec_string(text: str) -> Tuple[str, Dict[str, str]]:
+def parse_spec_string(text: str) -> tuple[str, dict[str, str]]:
     """``"adder:width=48,bit=47"`` -> ``("adder", {...})``."""
     head, _, tail = text.partition(":")
-    overrides: Dict[str, str] = {}
+    overrides: dict[str, str] = {}
     if tail:
         for item in tail.split(","):
             key, eq, value = item.partition("=")
@@ -344,8 +340,8 @@ class ProblemRegistry:
     """Named problems + generator families + the material cache."""
 
     def __init__(self, cache_size: int = 32):
-        self.families: Dict[str, GeneratorFamily] = {}
-        self._named: "OrderedDict[str, ProblemSpec]" = OrderedDict()
+        self.families: dict[str, GeneratorFamily] = {}
+        self._named: OrderedDict[str, ProblemSpec] = OrderedDict()
         self.cache = MaterialCache(cache_size)
 
     # -- registration ------------------------------------------------
@@ -364,10 +360,10 @@ class ProblemRegistry:
 
     # -- lookup ------------------------------------------------------
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return list(self._named)
 
-    def family_names(self) -> List[str]:
+    def family_names(self) -> list[str]:
         return sorted(self.families)
 
     def __contains__(self, name: str) -> bool:
@@ -384,7 +380,7 @@ class ProblemRegistry:
             )
         return spec
 
-    def get(self, name: Union[str, ProblemSpec]) -> ProblemSpec:
+    def get(self, name: str | ProblemSpec) -> ProblemSpec:
         """One spec: a registered name or a family spec string."""
         if isinstance(name, ProblemSpec):
             return name
@@ -409,8 +405,8 @@ class ProblemRegistry:
 
     def select(
         self,
-        patterns: Union[str, Iterable[Union[str, int, ProblemSpec]]],
-    ) -> List[ProblemSpec]:
+        patterns: str | Iterable[str | int | ProblemSpec],
+    ) -> list[ProblemSpec]:
         """Resolve a benchmark selector into specs (order-preserving).
 
         Each pattern may be: a registered name (``ex42``), an integer
@@ -425,15 +421,15 @@ class ProblemRegistry:
         """
         if isinstance(patterns, (str, int)):
             patterns = [patterns]
-        out: "OrderedDict[str, ProblemSpec]" = OrderedDict()
+        out: OrderedDict[str, ProblemSpec] = OrderedDict()
         for pattern in patterns:
             for spec in self._select_one(pattern):
                 out.setdefault(spec.name, spec)
         return list(out.values())
 
     def _select_one(
-        self, pattern: Union[str, int, ProblemSpec]
-    ) -> List[ProblemSpec]:
+        self, pattern: str | int | ProblemSpec
+    ) -> list[ProblemSpec]:
         if isinstance(pattern, ProblemSpec):
             return [pattern]
         if isinstance(pattern, (int, np.integer)):
@@ -448,7 +444,7 @@ class ProblemRegistry:
             # Parameters may contain commas; the whole token is one spec.
             return [self.get(pattern)]
         if "," in pattern:
-            specs: List[ProblemSpec] = []
+            specs: list[ProblemSpec] = []
             for part in pattern.split(","):
                 specs.extend(self._select_one(part))
             return specs
@@ -478,10 +474,10 @@ class ProblemRegistry:
             return matches
         raise KeyError(self._unknown_message(pattern))
 
-    def _select_manifest(self, path: str) -> List[ProblemSpec]:
+    def _select_manifest(self, path: str) -> list[ProblemSpec]:
         """A suite manifest: one selector pattern per line."""
         text = Path(path).read_text(encoding="utf-8")
-        specs: List[ProblemSpec] = []
+        specs: list[ProblemSpec] = []
         for line in text.splitlines():
             line = line.split("#", 1)[0].strip()
             if line:
@@ -490,18 +486,20 @@ class ProblemRegistry:
 
     # -- materialization ---------------------------------------------
 
-    def materialize(self, spec: Union[str, ProblemSpec]) -> Materialized:
+    def materialize(self, spec: str | ProblemSpec) -> Materialized:
         """The built generator for a spec (bounded-cache memoized)."""
         spec = self.get(spec)
         family = self.families[spec.family]
-        return self.cache.get(
+        resolved = spec  # bind for the closure after narrowing to a spec
+        built = self.cache.get(
             ("materialized", spec.family, spec.params),
-            lambda: family.build(spec.params_dict, self.cache),
+            lambda: family.build(resolved.params_dict, self.cache),
         )
+        return cast(Materialized, built)
 
     def problem(
         self,
-        spec: Union[str, ProblemSpec],
+        spec: str | ProblemSpec,
         n_train: int = 6400,
         n_valid: int = 6400,
         n_test: int = 6400,
@@ -681,7 +679,7 @@ def _composed_inputs(p) -> int:
                DEFAULT_REGISTRY.get(p["b"]).n_inputs)
 
 
-def _builtin_families() -> List[GeneratorFamily]:
+def _builtin_families() -> list[GeneratorFamily]:
     return [
         GeneratorFamily(
             name="adder", category="adder",
@@ -835,7 +833,7 @@ def _builtin_families() -> List[GeneratorFamily]:
     ]
 
 
-def _default_bit(p: Dict[str, object], msb: int) -> Dict[str, object]:
+def _default_bit(p: dict[str, Any], msb: int) -> dict[str, Any]:
     """``bit=-1`` (the default) means the MSB for adder/multiplier."""
     out = dict(p)
     if out.get("bit", -1) < 0:

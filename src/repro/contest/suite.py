@@ -37,9 +37,9 @@ space allows.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,8 +52,11 @@ from repro.contest.registry import (
 from repro.ml.dataset import Dataset
 from repro.utils.rng import rng_for
 
+# Backwards-compatible alias (the old private name).
+_unique_uniform_rows = unique_uniform_rows
+
 # Historical grid constants, re-exported from the registry.
-from repro.contest.registry import (  # noqa: F401  (public re-exports)
+from repro.contest.registry import (  # noqa: E402, F401  (public re-exports)
     ADDER_WIDTHS,
     COMPARATOR_WIDTHS,
     CONE_INPUTS,
@@ -61,9 +64,6 @@ from repro.contest.registry import (  # noqa: F401  (public re-exports)
     MULTIPLIER_WIDTHS,
     SQRT_WIDTHS,
 )
-
-# Backwards-compatible alias (the old private name).
-_unique_uniform_rows = unique_uniform_rows
 
 
 @dataclass
@@ -81,9 +81,9 @@ class BenchmarkSpec:
     description: str
     n_inputs: int
     # Either a deterministic label function over uniform inputs...
-    label_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    label_fn: Callable[[np.ndarray], np.ndarray] | None = None
     # ...or a full generative sampler (image-like benchmarks).
-    sampler: Optional[Callable] = field(default=None, repr=False)
+    sampler: Callable | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -91,12 +91,17 @@ class BenchmarkSpec:
 
     def sample(
         self, n: int, rng: np.random.Generator
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Draw ``n`` labelled samples."""
         if self.sampler is not None:
             return self.sampler(n, rng)
+        label_fn = self.label_fn
+        if label_fn is None:
+            raise ValueError(
+                f"benchmark {self.name} has neither label_fn nor sampler"
+            )
         X = unique_uniform_rows(self.n_inputs, n, rng)
-        return X, self.label_fn(X)
+        return X, label_fn(X)
 
 
 class _RegistryLabelFn:
@@ -108,7 +113,12 @@ class _RegistryLabelFn:
         self._spec = spec
 
     def __call__(self, X: np.ndarray) -> np.ndarray:
-        return DEFAULT_REGISTRY.materialize(self._spec).label_fn(X)
+        label_fn = DEFAULT_REGISTRY.materialize(self._spec).label_fn
+        if label_fn is None:
+            raise ValueError(
+                f"{self._spec.name} is generative and has no label_fn"
+            )
+        return label_fn(X)
 
 
 class _RegistrySampler:
@@ -121,7 +131,12 @@ class _RegistrySampler:
         self.n_inputs = spec.n_inputs
 
     def __call__(self, n: int, rng: np.random.Generator):
-        return DEFAULT_REGISTRY.materialize(self._spec).sampler(n, rng)
+        sampler = DEFAULT_REGISTRY.materialize(self._spec).sampler
+        if sampler is None:
+            raise ValueError(
+                f"{self._spec.name} is deterministic and has no sampler"
+            )
+        return sampler(n, rng)
 
 
 def _shim_spec(spec: ProblemSpec) -> BenchmarkSpec:
@@ -137,21 +152,22 @@ def _shim_spec(spec: ProblemSpec) -> BenchmarkSpec:
 
 
 @lru_cache(maxsize=1)
-def build_suite() -> Tuple[BenchmarkSpec, ...]:
+def build_suite() -> tuple[BenchmarkSpec, ...]:
     """All 100 paper benchmark specs, index-aligned with the paper.
 
     Deprecated shim (see module docstring): the tuple holds only
     lightweight proxies; generator state lives in the registry's
     bounded cache, so caching this tuple pins no datasets or models.
     """
-    specs: List[BenchmarkSpec] = [
+    specs: list[BenchmarkSpec] = [
         _shim_spec(DEFAULT_REGISTRY.by_index(i)) for i in range(100)
     ]
-    assert [s.index for s in specs] == list(range(100))
+    if [s.index for s in specs] != list(range(100)):
+        raise RuntimeError("registry paper indices are not 0..99")
     return tuple(specs)
 
 
-def default_small_indices() -> List[int]:
+def default_small_indices() -> list[int]:
     """Two representative benchmarks per category (20 total).
 
     Used by the small-scale bench harness; pairs a small (learnable or
@@ -180,11 +196,7 @@ def make_problem(
     """
     rng = rng_for("problem", spec.index, master_seed)
     total = n_train + n_valid + n_test
-    if spec.sampler is not None:
-        X, y = spec.sample(total, rng)
-    else:
-        X = unique_uniform_rows(spec.n_inputs, total, rng)
-        y = spec.label_fn(X)
+    X, y = spec.sample(total, rng)
     train = Dataset(X[:n_train], y[:n_train])
     valid = Dataset(X[n_train : n_train + n_valid],
                     y[n_train : n_train + n_valid])

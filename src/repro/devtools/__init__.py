@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repo, not the paper.
+
+:mod:`repro.devtools.lint` is the repo-specific static-analysis
+engine (``repro lint``); it enforces the determinism and safety
+invariants the reproduction's guarantees rest on.  Nothing in here is
+imported by the library at runtime.
+"""

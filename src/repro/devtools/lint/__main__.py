@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.lint`` — same entry as ``repro lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.lint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

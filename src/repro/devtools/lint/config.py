@@ -1,0 +1,89 @@
+"""Repo-specific scoping for the lint rules.
+
+The rules themselves are generic AST checks; this module pins them to
+the places where this codebase's determinism contracts actually live:
+
+- which modules are *worker zones* (code that runs inside forked
+  worker processes and must stay pure — see
+  :mod:`repro.runner.task` and :mod:`repro.serve.pool`),
+- which files are allowed to touch global RNG machinery (only
+  :mod:`repro.utils.rng`, the seed-derivation chokepoint),
+- which path prefixes individual rules skip (benchmarks assert their
+  perf floors by design, so REP403 does not apply there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Functions that execute inside pool workers, keyed by a module path
+#: suffix.  Purity rules (REP301/302/303) only fire inside these — or
+#: inside any function named ``_worker*`` / ``*_worker`` anywhere,
+#: so new worker entry points are covered by convention.
+DEFAULT_WORKER_ZONES: dict[str, frozenset[str]] = {
+    "repro/runner/task.py": frozenset({
+        "initialize_worker",
+        "run_task",
+        "make_task_problem",
+        "_cached_problem",
+        "run_flow_on_problem",
+        "dataset_fingerprint",
+    }),
+    "repro/serve/pool.py": frozenset({
+        "_init_worker",
+        "_worker_compiled",
+        "_worker_predict",
+        "_worker_ping",
+    }),
+}
+
+#: Files allowed to call global RNG constructors: the seed-derivation
+#: chokepoint every stream must come from.
+DEFAULT_RNG_EXEMPT: tuple[str, ...] = (
+    "repro/utils/rng.py",
+)
+
+#: Per-rule path-suffix/prefix fragments the rule skips entirely.
+#: Benchmarks assert measured floors (that is their job) and drive
+#: wall clocks for timing, so the runtime-assert rule stays out.
+DEFAULT_RULE_PATH_SKIPS: dict[str, tuple[str, ...]] = {
+    "REP403": ("benchmarks/", "tests/"),
+}
+
+
+def _worker_name_matches(name: str) -> bool:
+    return name.startswith("_worker") or name.endswith("_worker")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scoping knobs; tests build narrowed instances."""
+
+    worker_zones: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_WORKER_ZONES)
+    )
+    rng_exempt: tuple[str, ...] = DEFAULT_RNG_EXEMPT
+    rule_path_skips: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_RULE_PATH_SKIPS)
+    )
+
+    def is_worker_function(self, path: str, func_name: str) -> bool:
+        """Is ``func_name`` in ``path`` a worker-zone function?"""
+        if _worker_name_matches(func_name):
+            return True
+        normalized = path.replace("\\", "/")
+        for suffix, names in self.worker_zones.items():
+            if normalized.endswith(suffix) and func_name in names:
+                return True
+        return False
+
+    def is_rng_exempt(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(normalized.endswith(s) for s in self.rng_exempt)
+
+    def rule_skips_path(self, rule_id: str, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(
+            fragment in normalized
+            for fragment in self.rule_path_skips.get(rule_id, ())
+        )

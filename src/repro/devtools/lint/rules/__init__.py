@@ -1,0 +1,62 @@
+"""Rule registry: every rule the engine runs, in report order."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.devtools.lint.rules.base import ParsedModule, Rule
+from repro.devtools.lint.rules.hygiene import (
+    BARE_EXCEPT,
+    MUTABLE_DEFAULT,
+    RUNTIME_ASSERT,
+    check_bare_except,
+    check_mutable_defaults,
+    check_runtime_assert,
+)
+from repro.devtools.lint.rules.purity import (
+    ENV_IN_WORKER,
+    GLOBAL_MUTATION_IN_WORKER,
+    WALLCLOCK_IN_WORKER,
+    check_worker_purity,
+)
+from repro.devtools.lint.rules.rng import (
+    RNG_GLOBAL_CALL,
+    RNG_UNSEEDED,
+    check_rng,
+)
+from repro.devtools.lint.rules.serialization import (
+    JSON_SORT_KEYS,
+    UNSORTED_SET_ITER,
+    check_json_sort_keys,
+    check_set_iteration,
+)
+from repro.devtools.lint.violations import Violation
+
+Checker = Callable[[ParsedModule], Iterator[Violation]]
+
+#: ``(rule, checker)`` pairs; one checker may emit several rules
+#: (worker purity shares a single AST walk).
+ALL_RULES: tuple[Rule, ...] = (
+    RNG_GLOBAL_CALL,
+    RNG_UNSEEDED,
+    JSON_SORT_KEYS,
+    UNSORTED_SET_ITER,
+    WALLCLOCK_IN_WORKER,
+    ENV_IN_WORKER,
+    GLOBAL_MUTATION_IN_WORKER,
+    MUTABLE_DEFAULT,
+    BARE_EXCEPT,
+    RUNTIME_ASSERT,
+)
+
+ALL_CHECKERS: tuple[Checker, ...] = (
+    check_rng,
+    check_json_sort_keys,
+    check_set_iteration,
+    check_worker_purity,
+    check_mutable_defaults,
+    check_bare_except,
+    check_runtime_assert,
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,170 @@
+"""Worker purity rules.
+
+The parallel runner and the serving pool both rely on worker functions
+being pure functions of their arguments: any process, any order, same
+bytes.  Wall-clock reads, ambient environment lookups and post-fork
+mutation of module globals are the three ways that purity quietly
+dies; these rules fence them inside the configured worker zones (see
+:mod:`repro.devtools.lint.config`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.rules.base import (
+    ParsedModule,
+    Rule,
+    Violation,
+    dotted_parts,
+    violation,
+)
+
+WALLCLOCK_IN_WORKER = Rule(
+    rule_id="REP301",
+    name="wallclock-in-worker",
+    description=(
+        "wall-clock read inside a worker-zone function; results must "
+        "not depend on when or where a task executes"
+    ),
+)
+
+ENV_IN_WORKER = Rule(
+    rule_id="REP302",
+    name="env-read-in-worker",
+    description=(
+        "ambient environment read inside a worker-zone function; pass "
+        "settings through the initializer or the task spec instead"
+    ),
+)
+
+GLOBAL_MUTATION_IN_WORKER = Rule(
+    rule_id="REP303",
+    name="worker-global-mutation",
+    description=(
+        "module global mutated inside a worker-zone function; "
+        "post-fork global state diverges between workers"
+    ),
+)
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+# ``os.environ`` itself is caught as an attribute read (which also
+# covers ``os.environ.get`` / ``os.environ[...]`` exactly once).
+_ENV_CALLS = frozenset({"os.getenv"})
+
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove",
+    "update", "clear", "pop", "popitem", "setdefault", "move_to_end",
+    "appendleft", "extendleft",
+})
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "OrderedDict", "defaultdict", "deque",
+    "Counter",
+})
+
+
+def _module_level_mutables(module: ParsedModule) -> frozenset[str]:
+    """Module-level names bound to syntactically mutable containers."""
+    names: set[str] = set()
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        is_mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                    ast.DictComp, ast.SetComp)
+        )
+        if isinstance(value, ast.Call):
+            callee = dotted_parts(value.func)
+            if callee is not None:
+                is_mutable = callee.split(".")[-1] in _MUTABLE_FACTORIES
+        if not is_mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _check_worker_body(
+    module: ParsedModule,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    mutable_globals: frozenset[str],
+) -> Iterator[Violation]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            path = module.resolve_call_path(node.func)
+            if path in _WALLCLOCK_CALLS:
+                yield violation(
+                    module, node, WALLCLOCK_IN_WORKER,
+                    f"{path}() called in worker function "
+                    f"{func.name!r}",
+                )
+            elif path in _ENV_CALLS:
+                yield violation(
+                    module, node, ENV_IN_WORKER,
+                    f"{path}() read in worker function {func.name!r}",
+                )
+            dotted = dotted_parts(node.func)
+            if (
+                dotted is not None
+                and "." in dotted
+                and dotted.split(".")[0] in mutable_globals
+                and dotted.split(".")[-1] in _MUTATING_METHODS
+            ):
+                yield violation(
+                    module, node, GLOBAL_MUTATION_IN_WORKER,
+                    f"module global {dotted.split('.')[0]!r} mutated "
+                    f"via .{dotted.split('.')[-1]}() in worker "
+                    f"function {func.name!r}",
+                )
+        elif isinstance(node, ast.Attribute):
+            dotted = dotted_parts(node)
+            if dotted == "os.environ":
+                yield violation(
+                    module, node, ENV_IN_WORKER,
+                    f"os.environ read in worker function {func.name!r}",
+                )
+        elif isinstance(node, ast.Global):
+            yield violation(
+                module, node, GLOBAL_MUTATION_IN_WORKER,
+                f"'global {', '.join(node.names)}' rebinding in "
+                f"worker function {func.name!r}",
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutable_globals
+                ):
+                    yield violation(
+                        module, target, GLOBAL_MUTATION_IN_WORKER,
+                        f"module global {target.value.id!r} written "
+                        f"by subscript in worker function "
+                        f"{func.name!r}",
+                    )
+
+
+def check_worker_purity(module: ParsedModule) -> Iterator[Violation]:
+    mutable_globals = _module_level_mutables(module)
+    for func in module.worker_functions():
+        yield from _check_worker_body(module, func, mutable_globals)

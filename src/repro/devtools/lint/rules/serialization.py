@@ -1,0 +1,107 @@
+"""Serialization determinism rules.
+
+Store records, manifests and golden fingerprints are compared
+byte-for-byte (resume, shard merge, golden tests), so anything that
+reaches ``json.dump``/JSONL must serialize canonically: dict keys
+sorted, and no iteration order borrowed from a ``set``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.lint.rules.base import (
+    ParsedModule,
+    Rule,
+    Violation,
+    violation,
+)
+
+JSON_SORT_KEYS = Rule(
+    rule_id="REP201",
+    name="json-sort-keys",
+    description=(
+        "json.dump/json.dumps without sort_keys=True; unsorted keys "
+        "make output byte-unstable across dict construction orders"
+    ),
+)
+
+UNSORTED_SET_ITER = Rule(
+    rule_id="REP202",
+    name="unsorted-set-iteration",
+    description=(
+        "iteration over a set in an order-sensitive position; wrap it "
+        "in sorted() before the order can leak into output"
+    ),
+)
+
+#: Calls that materialize their argument's iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically-certain set expressions (no type inference)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def check_json_sort_keys(module: ParsedModule) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = module.resolve_call_path(node.func)
+        if path not in ("json.dump", "json.dumps"):
+            continue
+        sort_keys = next(
+            (kw for kw in node.keywords if kw.arg == "sort_keys"), None
+        )
+        if sort_keys is None:
+            yield violation(
+                module, node, JSON_SORT_KEYS,
+                f"{path} without sort_keys=True",
+            )
+        elif (
+            isinstance(sort_keys.value, ast.Constant)
+            and sort_keys.value.value is False
+        ):
+            yield violation(
+                module, node, JSON_SORT_KEYS,
+                f"{path} with sort_keys=False",
+            )
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[ast.expr]:
+    """Expressions whose iteration order becomes visible."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for comp in node.generators:
+                yield comp.iter
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_materializer = (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_CALLS
+            )
+            is_join = isinstance(func, ast.Attribute) and func.attr == "join"
+            if (is_materializer or is_join) and node.args:
+                yield node.args[0]
+
+
+def check_set_iteration(module: ParsedModule) -> Iterator[Violation]:
+    for expr in _iteration_sites(module.tree):
+        if _is_set_expr(expr):
+            yield violation(
+                module, expr, UNSORTED_SET_ITER,
+                "set iterated in an order-sensitive position; "
+                "wrap in sorted()",
+            )

@@ -1,0 +1,46 @@
+"""Inline suppression comments.
+
+A violation is silenced by a trailing comment on its own line::
+
+    value = json.dumps(payload)  # repro-lint: ignore[REP201]
+
+Multiple rules separate with commas
+(``# repro-lint: ignore[REP201,REP303]``).  Rule IDs are mandatory —
+there is no blanket ``ignore`` — so every suppression documents
+exactly which invariant it waives, and a justifying comment should sit
+next to it.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<rules>[A-Z0-9,\s]+)\]"
+)
+
+
+def suppressions_for(source_lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule IDs suppressed there."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        if rules:
+            table[lineno] = rules
+    return table
+
+
+def is_suppressed(
+    table: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    """True when ``rule_id`` is suppressed on ``line``."""
+    return rule_id in table.get(line, frozenset())

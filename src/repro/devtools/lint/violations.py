@@ -1,0 +1,56 @@
+"""Violation records and output formatting for the lint engine."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule firing at one source location.
+
+    Ordered by ``(path, line, col, rule_id)`` so reports and JSON
+    output are stable regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def as_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+def format_text(violations: list[Violation], n_files: int) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.as_text() for v in sorted(violations)]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(
+        f"{len(violations)} {noun} in {n_files} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def format_json(violations: list[Violation], n_files: int) -> str:
+    """Machine-readable report (stable key and violation order)."""
+    payload = {
+        "checked_files": n_files,
+        "violation_count": len(violations),
+        "violations": [v.as_dict() for v in sorted(violations)],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)

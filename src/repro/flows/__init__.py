@@ -27,17 +27,11 @@ the historical signature) but new code should use the registry.
 
 import warnings as _warnings
 
-from repro.flows import api, registry
-from repro.flows.api import ArtifactCache, Candidate, Flow, FlowResult, Stage
-from repro.flows.registry import (
-    REGISTRY,
-    flow_names,
-    get_flow,
-    resolve_spec,
-)
-
 # Importing the flow modules registers their Flows.
-from repro.flows import (  # noqa: E402  (registration side effects)
+from repro.flows import (  # noqa: F401  (registration side effects)
+    api,
+    portfolio as _portfolio_module,
+    registry,
     team01,
     team02,
     team03,
@@ -48,9 +42,15 @@ from repro.flows import (  # noqa: E402  (registration side effects)
     team08,
     team09,
     team10,
-    portfolio as _portfolio_module,
 )
+from repro.flows.api import ArtifactCache, Candidate, Flow, FlowResult, Stage
 from repro.flows.portfolio import virtual_best
+from repro.flows.registry import (
+    REGISTRY,
+    flow_names,
+    get_flow,
+    resolve_spec,
+)
 
 #: The ten team flows, in contest order (single source of truth: the
 #: portfolio's default member list).

@@ -37,18 +37,8 @@ string (``"team01:effort=full"``).
 from __future__ import annotations
 
 import inspect
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
 
 import numpy as np
 
@@ -92,7 +82,7 @@ class Candidate:
     name: str
     aig: AIG
     provenance: Mapping[str, object] = field(default_factory=dict)
-    stage: Optional[str] = None
+    stage: str | None = None
 
     def with_stage(self, stage: str) -> "Candidate":
         if self.stage is not None:
@@ -120,10 +110,10 @@ class ArtifactCache:
     """
 
     def __init__(self) -> None:
-        self._artifacts: Dict[tuple, object] = {}
-        self._problems: Dict[int, LearningProblem] = {}
-        self._hits: Dict[str, int] = {}
-        self._misses: Dict[str, int] = {}
+        self._artifacts: dict[tuple, object] = {}
+        self._problems: dict[int, LearningProblem] = {}
+        self._hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
 
     def get_or_compute(
         self,
@@ -151,7 +141,7 @@ class ArtifactCache:
     def misses(self) -> int:
         return sum(self._misses.values())
 
-    def stats(self) -> Dict[str, Dict[str, int]]:
+    def stats(self) -> dict[str, dict[str, int]]:
         """Per-family ``{"hits": n, "misses": m}`` counters."""
         return {
             family: {
@@ -199,8 +189,8 @@ class FlowContext:
     params: Mapping[str, object]
     cache: ArtifactCache
     rng: np.random.Generator
-    state: Dict[str, object] = field(default_factory=dict)
-    candidates: List[Candidate] = field(default_factory=list)
+    state: dict[str, object] = field(default_factory=dict)
+    candidates: list[Candidate] = field(default_factory=list)
 
     def derive_rng(self, *parts) -> np.random.Generator:
         """A fresh named sub-stream (same derivation as the legacy
@@ -233,7 +223,7 @@ class FlowContext:
 
 #: What a stage may return: nothing, a candidate batch, or a finished
 #: Solution that short-circuits the flow.
-StageOutcome = Union[None, Iterable[Candidate], Solution]
+StageOutcome = None | Iterable[Candidate] | Solution
 
 
 @dataclass(frozen=True)
@@ -275,7 +265,7 @@ class FinalizeSpec:
     """
 
     max_nodes: int = MAX_AND_NODES
-    optimize: Union[bool, Callable[[AIG], bool]] = True
+    optimize: bool | Callable[[AIG], bool] = True
     optimize_limit: int = 20000
 
     def apply(self, aig: AIG, rng: np.random.Generator) -> AIG:
@@ -337,7 +327,7 @@ class CandidateRecord:
     """One row of a FlowResult's candidate table."""
 
     name: str
-    stage: Optional[str]
+    stage: str | None
     num_ands: int
     provenance: Mapping[str, object]
 
@@ -352,8 +342,8 @@ class FlowResult:
     effort: str
     master_seed: int
     solution: Solution
-    candidates: Tuple[CandidateRecord, ...]
-    cache_stats: Dict[str, Dict[str, int]]
+    candidates: tuple[CandidateRecord, ...]
+    cache_stats: dict[str, dict[str, int]]
     short_circuited: bool = False
 
 
@@ -382,11 +372,11 @@ class Flow:
         techniques: Iterable[str] = (),
         efforts: Mapping[str, Mapping[str, object]],
         stages: Sequence[Stage],
-        finalize: Optional[FinalizeSpec] = FinalizeSpec(),
+        finalize: FinalizeSpec | None = FinalizeSpec(),
         select: Callable[[FlowContext], Solution] = select_best_validation,
         package: Callable[..., Solution] = default_package,
         description: str = "",
-        spec_params: Optional[Mapping[str, Callable[[str], object]]] = None,
+        spec_params: Mapping[str, Callable[[str], object]] | None = None,
     ) -> None:
         if not stages:
             raise ValueError(f"flow {name!r} needs at least one stage")
@@ -412,7 +402,7 @@ class Flow:
 
     # -- metadata ----------------------------------------------------
 
-    def params_for(self, effort: str) -> Dict[str, object]:
+    def params_for(self, effort: str) -> dict[str, object]:
         """The effort grid as plain data (copy — stages may not rely
         on mutating the flow's grid)."""
         try:
@@ -424,7 +414,7 @@ class Flow:
             ) from None
 
     @property
-    def stage_names(self) -> Tuple[str, ...]:
+    def stage_names(self) -> tuple[str, ...]:
         return tuple(stage.name for stage in self.stages)
 
     def __repr__(self) -> str:
@@ -440,7 +430,7 @@ class Flow:
         effort: str = "small",
         master_seed: int = 0,
         *,
-        cache: Optional[ArtifactCache] = None,
+        cache: ArtifactCache | None = None,
     ) -> Solution:
         """The flow contract: ``(problem, effort, master_seed) ->
         Solution``.  ``cache`` shares deterministic artifacts with
@@ -457,8 +447,8 @@ class Flow:
         effort: str = "small",
         master_seed: int = 0,
         *,
-        cache: Optional[ArtifactCache] = None,
-        state: Optional[Mapping[str, object]] = None,
+        cache: ArtifactCache | None = None,
+        state: Mapping[str, object] | None = None,
     ) -> FlowResult:
         """Run and return the Solution plus the full candidate table."""
         ctx = FlowContext(
@@ -471,7 +461,7 @@ class Flow:
             rng=flow_rng(self.name, problem, master_seed),
             state=dict(state or {}),
         )
-        solution: Optional[Solution] = None
+        solution: Solution | None = None
         for stage in self.stages:
             out = stage.fn(ctx)
             if isinstance(out, Solution):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -62,10 +62,10 @@ def finalize_aig(
 
 
 def pick_best(
-    candidates: Iterable[Tuple[str, AIG]],
+    candidates: Iterable[tuple[str, AIG]],
     data: Dataset,
     max_nodes: int = MAX_AND_NODES,
-) -> Optional[Tuple[str, AIG, float]]:
+) -> tuple[str, AIG, float] | None:
     """Best legal candidate by accuracy on ``data`` (ties: smaller).
 
     Candidates over the node cap are only used if nothing legal exists;
@@ -82,8 +82,8 @@ def pick_best(
         return None
     preds = output_predictions([aig for _, aig in candidates], data.X)
     sizes = {id(aig): aig.count_used_ands() for _, aig in candidates}
-    best: Optional[Tuple[str, AIG, float]] = None
-    fallback: Optional[Tuple[str, AIG, float]] = None
+    best: tuple[str, AIG, float] | None = None
+    fallback: tuple[str, AIG, float] | None = None
 
     def better(entry, incumbent):
         if incumbent is None:
@@ -93,7 +93,7 @@ def pick_best(
             acc == inc_acc and sizes[id(entry[1])] < sizes[id(incumbent[1])]
         )
 
-    for (name, aig), pred in zip(candidates, preds):
+    for (name, aig), pred in zip(candidates, preds, strict=True):
         entry = (name, aig, accuracy(data.y, pred))
         if sizes[id(aig)] <= max_nodes:
             if better(entry, best):

@@ -19,7 +19,7 @@ scan Teams 1 and 7 both perform) are computed once per problem.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.contest.evaluate import Score
 from repro.contest.problem import LearningProblem, Solution
@@ -37,16 +37,16 @@ from repro.flows.registry import REGISTRY, register
 DEFAULT_MEMBERS = tuple(f"team{i:02d}" for i in range(1, 11))
 
 
-def virtual_best(scores_by_team: Dict[str, List[Score]]) -> List[Score]:
+def virtual_best(scores_by_team: dict[str, list[Score]]) -> list[Score]:
     """Per-benchmark best test-accuracy score across teams.
 
     Ties are broken by circuit size, like the contest ranking.
     """
-    by_benchmark: Dict[str, List[Score]] = {}
+    by_benchmark: dict[str, list[Score]] = {}
     for scores in scores_by_team.values():
         for s in scores:
             by_benchmark.setdefault(s.benchmark, []).append(s)
-    best: List[Score] = []
+    best: list[Score] = []
     for name in sorted(by_benchmark):
         entries = by_benchmark[name]
         entries.sort(key=lambda s: (-s.test_accuracy, s.num_ands))
@@ -54,7 +54,7 @@ def virtual_best(scores_by_team: Dict[str, List[Score]]) -> List[Score]:
     return best
 
 
-def _members_stage(ctx: FlowContext) -> List[Candidate]:
+def _members_stage(ctx: FlowContext) -> list[Candidate]:
     """Run the member flows and emit each winner's circuit.
 
     With ``jobs > 1`` the member flows execute concurrently on a
@@ -81,7 +81,7 @@ def _members_stage(ctx: FlowContext) -> List[Candidate]:
             # candidate order as the serial loop.
             solutions = {
                 name: future.result()
-                for name, future in zip(names, futures)
+                for name, future in zip(names, futures, strict=True)
             }
     else:
         solutions = {
@@ -130,9 +130,9 @@ class PortfolioFlow(Flow):
         effort: str = "small",
         master_seed: int = 0,
         *,
-        flows: Optional[Sequence[str]] = None,
+        flows: Sequence[str] | None = None,
         jobs: int = 1,
-        cache: Optional[ArtifactCache] = None,
+        cache: ArtifactCache | None = None,
     ) -> Solution:
         return self.run_detailed(
             problem, effort=effort, master_seed=master_seed, cache=cache,
@@ -167,7 +167,7 @@ def run(
     problem: LearningProblem,
     effort: str = "small",
     master_seed: int = 0,
-    flows: Optional[Sequence[str]] = None,
+    flows: Sequence[str] | None = None,
     jobs: int = 1,
 ) -> Solution:
     """Deprecated shim — use ``repro.flows.get_flow("portfolio")``."""

@@ -17,8 +17,8 @@ fails at import, not mid-contest.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro.flows.api import Flow, check_flow_contract
 
@@ -34,7 +34,7 @@ __all__ = [
 ]
 
 
-def parse_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+def parse_spec(spec: str) -> tuple[str, dict[str, str]]:
     """Split ``"name:key=value,key=value"`` into name + raw overrides.
 
     A plain name parses to ``(name, {})``.  Malformed override parts
@@ -44,7 +44,7 @@ def parse_spec(spec: str) -> Tuple[str, Dict[str, str]]:
     name, _, rest = spec.partition(":")
     if not name:
         raise ValueError(f"empty flow name in spec {spec!r}")
-    overrides: Dict[str, str] = {}
+    overrides: dict[str, str] = {}
     if rest:
         for part in rest.split(","):
             key, eq, value = part.partition("=")
@@ -73,7 +73,7 @@ class FlowSpec:
 
     spec: str
     flow: Flow
-    overrides: Dict[str, object] = field(default_factory=dict)
+    overrides: dict[str, object] = field(default_factory=dict)
 
     def __call__(self, problem, effort: str = "small",
                  master_seed: int = 0, **kwargs):
@@ -96,7 +96,7 @@ class FlowRegistry:
     """Mutable name → Flow mapping with contract enforcement."""
 
     def __init__(self) -> None:
-        self._flows: Dict[str, Flow] = {}
+        self._flows: dict[str, Flow] = {}
 
     # -- registration ------------------------------------------------
 
@@ -135,10 +135,10 @@ class FlowRegistry:
                 f"unknown flow {name!r} (registered: {self.names()})"
             ) from None
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return sorted(self._flows)
 
-    def flows(self) -> Dict[str, Flow]:
+    def flows(self) -> dict[str, Flow]:
         return dict(self._flows)
 
     def __contains__(self, name: object) -> bool:
@@ -164,7 +164,7 @@ class FlowRegistry:
         flow = self.get(name)
         if not raw:
             return flow
-        overrides: Dict[str, object] = {}
+        overrides: dict[str, object] = {}
         for key, value in raw.items():
             if key == "effort":
                 if value not in flow.efforts:
@@ -203,7 +203,7 @@ def get_flow(name: str) -> Flow:
     return REGISTRY.get(name)
 
 
-def flow_names() -> List[str]:
+def flow_names() -> list[str]:
     return REGISTRY.names()
 
 

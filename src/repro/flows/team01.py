@@ -16,11 +16,15 @@ constant substitution (``repro.aig.approx``).
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.contest.problem import LearningProblem, Solution
-from repro.flows.api import Candidate, FinalizeSpec, Flow, FlowContext, Stage
-from repro.flows.api import match_standard_stage
+from repro.flows.api import (
+    Candidate,
+    FinalizeSpec,
+    Flow,
+    FlowContext,
+    Stage,
+    match_standard_stage,
+)
 from repro.flows.common import aig_accuracy
 from repro.flows.registry import register
 from repro.ml.forest import RandomForest
@@ -31,7 +35,7 @@ from repro.synth.from_sop import cover_to_aig
 from repro.twolevel.espresso import espresso_from_samples
 
 
-def _espresso_stage(ctx: FlowContext) -> List[Candidate]:
+def _espresso_stage(ctx: FlowContext) -> list[Candidate]:
     """ESPRESSO with first-irredundant stop (subsampled when large:
     two-level covers of huge sample sets overfit anyway)."""
     limit = ctx.params["espresso_max_samples"]
@@ -56,10 +60,10 @@ def _espresso_stage(ctx: FlowContext) -> List[Candidate]:
     return [Candidate("espresso", cover_to_aig(cover))]
 
 
-def _lut_beam_stage(ctx: FlowContext) -> List[Candidate]:
+def _lut_beam_stage(ctx: FlowContext) -> list[Candidate]:
     """Increment LUT-network shape while validation accuracy improves."""
     layers, width = ctx.params["lut_start"]
-    out: List[Candidate] = []
+    out: list[Candidate] = []
     best_acc = -1.0
     for _ in range(ctx.params["lut_beam_steps"]):
         net = LUTNetwork(
@@ -76,9 +80,9 @@ def _lut_beam_stage(ctx: FlowContext) -> List[Candidate]:
     return out
 
 
-def _forest_stage(ctx: FlowContext) -> List[Candidate]:
+def _forest_stage(ctx: FlowContext) -> list[Candidate]:
     """Random forests, 4-16 estimators (odd counts for clean votes)."""
-    out: List[Candidate] = []
+    out: list[Candidate] = []
     for n_trees in ctx.params["forest_sizes"]:
         forest = RandomForest(
             n_trees=n_trees,

@@ -9,8 +9,6 @@ J48 through a PLA (``j48topla``), PART through a priority network.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.contest.problem import LearningProblem, Solution
 from repro.flows.api import (
     Candidate,
@@ -24,8 +22,8 @@ from repro.flows.registry import register
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.metrics import cross_val_accuracy
 from repro.ml.rules import PartRuleLearner
-from repro.synth.from_sop import cover_to_aig
 from repro.synth.from_rules import rules_to_aig
+from repro.synth.from_sop import cover_to_aig
 
 
 def _fit_j48(X, y, cf: float, min_inst: int) -> DecisionTree:
@@ -83,7 +81,7 @@ def _tune_min_instances_stage(ctx: FlowContext) -> None:
     _, ctx.state["min_instances"] = best_m
 
 
-def _train_final_stage(ctx: FlowContext) -> List[Candidate]:
+def _train_final_stage(ctx: FlowContext) -> list[Candidate]:
     """Step 3: final training and conversion."""
     merged = ctx.merged_train_valid()
     X, y = merged.X, merged.y

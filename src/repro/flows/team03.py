@@ -10,8 +10,6 @@ busts the node cap the largest member is swapped for a smaller one.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
-
 import numpy as np
 
 from repro.aig.aig import AIG
@@ -37,8 +35,8 @@ from repro.synth.from_tree import fringe_dt_to_aig, tree_to_aig
 
 def _train_candidates(
     train: Dataset, params, rng
-) -> List[Tuple[str, AIG]]:
-    out: List[Tuple[str, AIG]] = []
+) -> list[tuple[str, AIG]]:
+    out: list[tuple[str, AIG]] = []
     for depth in params["dt_depths"]:
         tree = DecisionTree(max_depth=depth).fit(train.X, train.y)
         tree.prune(0.25)
@@ -69,13 +67,13 @@ def _ensemble_stage(ctx: FlowContext) -> StageOutcome:
     order = rng.permutation(n)
     thirds = np.array_split(order, 3)
 
-    members: List[Tuple[str, AIG, float]] = []
+    members: list[tuple[str, AIG, float]] = []
     for g in range(3):
         valid_idx = thirds[g]
         train_idx = np.concatenate([thirds[j] for j in range(3) if j != g])
         train = merged.subset(train_idx)
         valid = merged.subset(valid_idx)
-        best: Optional[Tuple[str, AIG, float]] = None
+        best: tuple[str, AIG, float] | None = None
         for name, aig in _train_candidates(train, params, rng):
             aig = aig.extract_cone()
             acc = aig_accuracy(aig, valid)
@@ -89,7 +87,7 @@ def _ensemble_stage(ctx: FlowContext) -> StageOutcome:
     if not members:
         return constant_solution(problem, "team03")
 
-    def ensemble_of(selected: List[Tuple[str, AIG, float]]) -> AIG:
+    def ensemble_of(selected: list[tuple[str, AIG, float]]) -> AIG:
         ens = AIG(problem.n_inputs)
         inputs = ens.input_lits()
         if len(selected) == 3:

@@ -13,8 +13,6 @@ and retrying when everything scores badly).
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from repro.aig.aig import AIG
@@ -32,11 +30,11 @@ from repro.ml.forest import RandomForest
 from repro.ml.mlp import LogInteractionNet
 
 
-def _feature_groups(problem, params, rng) -> List[np.ndarray]:
+def _feature_groups(problem, params, rng) -> list[np.ndarray]:
     """Two-level importance ranking -> candidate feature index groups."""
     X, y = problem.train.X, problem.train.y
     n = X.shape[1]
-    groups: List[np.ndarray] = []
+    groups: list[np.ndarray] = []
     # Level 1: permutation importance of a small forest ensemble.
     forest = RandomForest(
         n_trees=9, max_depth=6, feature_fraction=0.5, rng=rng
@@ -82,14 +80,14 @@ def _subspace_aig(
     return aig
 
 
-def _afn_search_stage(ctx: FlowContext) -> List[Candidate]:
+def _afn_search_stage(ctx: FlowContext) -> list[Candidate]:
     """The whole retry loop: rank features, train per-group nets,
     expand subspaces, keep retrying (fresh RNG stream per attempt)
     until a candidate validates at 60%+ or attempts run out.  The
     chosen attempt's ``pick_best`` result is stashed for the selector,
     so the validation sweep runs once."""
     params, problem = ctx.params, ctx.problem
-    candidates: List[Candidate] = []
+    candidates: list[Candidate] = []
     best = None
     for attempt in range(params["retries"] + 1):
         rng = ctx.derive_rng(attempt)

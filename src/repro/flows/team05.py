@@ -13,7 +13,6 @@ wins.
 from __future__ import annotations
 
 from itertools import combinations, product
-from typing import List, Tuple
 
 import numpy as np
 
@@ -51,7 +50,7 @@ def _apply_op(op: str, a, b):
 
 def _expression_search(
     features: np.ndarray, X, y, Xv, yv
-) -> Tuple[float, Tuple]:
+) -> tuple[float, tuple]:
     """Exhaustive OR/XOR/AND/NOT combinations over <= 4 features."""
     best = (-1.0, None)
     cols = {f: X[:, f].astype(bool) for f in features}
@@ -62,16 +61,16 @@ def _expression_search(
         for negs in product((0, 1), repeat=len(subset)):
             vals = [
                 ~cols[f] if neg else cols[f]
-                for f, neg in zip(subset, negs)
+                for f, neg in zip(subset, negs, strict=True)
             ]
             vvals = [
                 ~vcols[f] if neg else vcols[f]
-                for f, neg in zip(subset, negs)
+                for f, neg in zip(subset, negs, strict=True)
             ]
             for ops in product(_OPS, repeat=len(subset) - 1):
                 acc_val = vals[0]
                 vacc = vvals[0]
-                for op, nxt, vnxt in zip(ops, vals[1:], vvals[1:]):
+                for op, nxt, vnxt in zip(ops, vals[1:], vvals[1:], strict=True):
                     acc_val = _apply_op(op, acc_val, nxt)
                     vacc = _apply_op(op, vacc, vnxt)
                 train_acc = accuracy(y, acc_val.astype(np.uint8))
@@ -88,10 +87,10 @@ def _expression_aig(n_inputs: int, recipe) -> AIG:
     aig = AIG(n_inputs)
     lits = [
         lit_not(aig.input_lit(f)) if neg else aig.input_lit(f)
-        for f, neg in zip(subset, negs)
+        for f, neg in zip(subset, negs, strict=True)
     ]
     out = lits[0]
-    for op, nxt in zip(ops, lits[1:]):
+    for op, nxt in zip(ops, lits[1:], strict=True):
         if op == "and":
             out = aig.add_and(out, nxt)
         elif op == "or":
@@ -111,7 +110,7 @@ def _split_stage(ctx: FlowContext) -> None:
     ctx.state["selection_data"] = valid20
 
 
-def _grid_stage(ctx: FlowContext) -> List[Candidate]:
+def _grid_stage(ctx: FlowContext) -> list[Candidate]:
     """The DT/RF sweep over (seed, proportion, selector, depth).
 
     Decision trees are deterministic in their training data, so the
@@ -122,7 +121,7 @@ def _grid_stage(ctx: FlowContext) -> List[Candidate]:
     """
     params, problem = ctx.params, ctx.problem
     train80 = ctx.state["train80"]
-    out: List[Candidate] = []
+    out: list[Candidate] = []
     for seed in params["seeds"]:
         seed_rng = ctx.derive_rng("grid", seed)
         for proportion in params["proportions"]:
@@ -164,7 +163,7 @@ def _grid_stage(ctx: FlowContext) -> List[Candidate]:
     return out
 
 
-def _expression_stage(ctx: FlowContext) -> List[Candidate]:
+def _expression_stage(ctx: FlowContext) -> list[Candidate]:
     """NN-guided four-feature expression search."""
     params, problem = ctx.params, ctx.problem
     train80 = ctx.state["train80"]

@@ -10,8 +10,6 @@ ablation bench reproduces.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.contest.problem import LearningProblem, Solution
 from repro.flows.api import Candidate, Flow, FlowContext, Stage
 from repro.flows.common import finalize_aig
@@ -20,12 +18,12 @@ from repro.ml.lutnet import LUTNetwork
 from repro.synth.from_lutnet import lutnet_to_aig
 
 
-def _lut_sweep_stage(ctx: FlowContext) -> List[Candidate]:
+def _lut_sweep_stage(ctx: FlowContext) -> list[Candidate]:
     """Sweep scheme x arity x shape; candidates are finalized inline
     (the RNG stream interleaves training and finalization, as the
     original flow did)."""
     params, rng, problem = ctx.params, ctx.rng, ctx.problem
-    out: List[Candidate] = []
+    out: list[Candidate] = []
     for scheme in params["schemes"]:
         for lut_size in params["lut_sizes"]:
             for layers, width in params["shapes"]:

@@ -13,8 +13,6 @@ busts the cap.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.contest.problem import MAX_AND_NODES, LearningProblem, Solution
 from repro.flows.api import (
     Candidate,
@@ -33,7 +31,7 @@ from repro.synth.from_boosted import boosted_to_aig
 from repro.synth.from_sop import cover_to_aig
 
 
-def _model_stage(ctx: FlowContext) -> List[Candidate]:
+def _model_stage(ctx: FlowContext) -> list[Candidate]:
     """CV chooses DT vs boosted trees; cap recovery refits smaller."""
     params, rng = ctx.params, ctx.rng
     X, y = ctx.problem.train.X, ctx.problem.train.y

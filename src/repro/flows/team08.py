@@ -11,8 +11,6 @@ validation accuracy that stays under 5000 gates is submitted.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from repro.aig.aig import AIG
@@ -27,11 +25,11 @@ from repro.synth.from_forest import forest_to_aig
 from repro.synth.from_tree import tree_to_aig
 
 
-def _decomposing_tree_stage(ctx: FlowContext) -> List[Candidate]:
+def _decomposing_tree_stage(ctx: FlowContext) -> list[Candidate]:
     """Custom C4.5 with functional decomposition (grid over tau / N)."""
     params, problem = ctx.params, ctx.problem
     X, y = problem.train.X, problem.train.y
-    out: List[Candidate] = []
+    out: list[Candidate] = []
     for tau in params["taus"]:
         for min_samples in params["min_samples"]:
             tree = DecisionTree(
@@ -45,7 +43,7 @@ def _decomposing_tree_stage(ctx: FlowContext) -> List[Candidate]:
     return out
 
 
-def _forest_stage(ctx: FlowContext) -> List[Candidate]:
+def _forest_stage(ctx: FlowContext) -> list[Candidate]:
     params, problem = ctx.params, ctx.problem
     forest = RandomForest(
         n_trees=params["forest_trees"], max_depth=8, rng=ctx.rng
@@ -74,7 +72,7 @@ def _mlp_truth_table_aig(
     return from_truth_table(table, n)
 
 
-def _mlp_stage(ctx: FlowContext) -> List[Candidate]:
+def _mlp_stage(ctx: FlowContext) -> list[Candidate]:
     """Sine/ReLU MLPs via full truth-table enumeration (small inputs)."""
     params, problem = ctx.params, ctx.problem
     if problem.n_inputs > params["mlp_max_inputs"]:

@@ -11,8 +11,6 @@ selection of larger phenotypes comes from ``repro.cgp``.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.cgp import AIG_FUNCTIONS, XAIG_FUNCTIONS, CGPEvolver, CGPGenome
 from repro.contest.problem import LearningProblem, Solution
 from repro.flows.api import Candidate, FinalizeSpec, Flow, FlowContext, Stage
@@ -26,7 +24,7 @@ from repro.twolevel.espresso import espresso_from_samples
 BOOTSTRAP_THRESHOLD = 0.55
 
 
-def _evolve_stage(ctx: FlowContext) -> List[Candidate]:
+def _evolve_stage(ctx: FlowContext) -> list[Candidate]:
     """Bootstrap starters on half the data, CGP-evolve, and send both
     the evolved circuit and the starter into the funnel."""
     params, rng, problem = ctx.params, ctx.rng, ctx.problem

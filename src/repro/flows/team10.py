@@ -10,8 +10,6 @@ AND nodes, none above 300).
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.contest.problem import LearningProblem, Solution
 from repro.flows.api import (
     Candidate,
@@ -30,7 +28,7 @@ MAX_DEPTH = 8
 MIN_VALID_ACCURACY = 0.70
 
 
-def _tree_stage(ctx: FlowContext) -> List[Candidate]:
+def _tree_stage(ctx: FlowContext) -> list[Candidate]:
     problem = ctx.problem
     tree = DecisionTree(max_depth=MAX_DEPTH, criterion="gini")
     tree.fit(problem.train.X, problem.train.y)

@@ -12,7 +12,6 @@ using validation accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.aig.aig import AIG
 from repro.aig.approx import approximate_to_size
@@ -40,7 +39,7 @@ def run_tradeoff(
     problem: LearningProblem,
     effort: str = "small",
     master_seed: int = 0,
-) -> List[TradeoffPoint]:
+) -> list[TradeoffPoint]:
     """Return the validation-accuracy/size Pareto set (size ascending).
 
     Every returned circuit respects the 5000-node cap; successive
@@ -50,7 +49,7 @@ def run_tradeoff(
     depths = (2, 4, 6, 8) if effort == "small" else (2, 4, 6, 8, 10, 12)
     forest_sizes = (3, 7) if effort == "small" else (3, 7, 11, 15)
 
-    candidates: List[AIG] = []
+    candidates: list[AIG] = []
     for depth in depths:
         tree = DecisionTree(max_depth=depth).fit(
             problem.train.X, problem.train.y
@@ -76,7 +75,7 @@ def run_tradeoff(
         if aig.num_ands <= 5000
     ]
     scored.sort(key=lambda entry: (entry[0].num_ands, -entry[1]))
-    frontier: List[TradeoffPoint] = []
+    frontier: list[TradeoffPoint] = []
     best = -1.0
     for aig, acc in scored:
         if acc > best:

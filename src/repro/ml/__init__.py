@@ -9,14 +9,14 @@ selection (chi2 / F-score / mutual information / permutation
 importance) and a Shapley-value attribution estimator.
 """
 
+from repro.ml.boosting import GradientBoostedTrees
 from repro.ml.dataset import Dataset
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.forest import RandomForest
-from repro.ml.boosting import GradientBoostedTrees
-from repro.ml.rules import PartRuleLearner, RuleList
 from repro.ml.lutnet import LUTNetwork
-from repro.ml.mlp import MLP
 from repro.ml.metrics import accuracy, cross_val_accuracy, stratified_kfold
+from repro.ml.mlp import MLP
+from repro.ml.rules import PartRuleLearner, RuleList
 
 __all__ = [
     "Dataset",

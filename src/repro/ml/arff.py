@@ -9,13 +9,12 @@ nominal class attribute, plus a reader for round-tripping.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
 from repro.ml.dataset import Dataset
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def write_arff(
@@ -28,7 +27,7 @@ def write_arff(
     lines.append("@ATTRIBUTE class {0,1}")
     lines.append("")
     lines.append("@DATA")
-    for row, label in zip(dataset.X, dataset.y):
+    for row, label in zip(dataset.X, dataset.y, strict=True):
         lines.append(",".join(str(int(v)) for v in row) + f",{int(label)}")
     Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
 

@@ -14,7 +14,6 @@ with leaf weight ``-G/(H+lam)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +36,7 @@ class _RegressionTree:
         self.reg_lambda = reg_lambda
         self.gamma = gamma
         self.min_child_weight = min_child_weight
-        self.nodes: List[_RegNode] = []
+        self.nodes: list[_RegNode] = []
 
     def fit(self, X, grad, hess):
         self.nodes = []
@@ -63,7 +62,7 @@ class _RegressionTree:
         node.right = self._grow(X, grad, hess, right_idx, depth + 1)
         return node_id
 
-    def _best_split(self, X, grad, hess, idx, g, h) -> Tuple[Optional[int], float]:
+    def _best_split(self, X, grad, hess, idx, g, h) -> tuple[int | None, float]:
         Xn = X[idx].astype(np.float64)
         gn = grad[idx]
         hn = hess[idx]
@@ -125,9 +124,9 @@ class GradientBoostedTrees:
         self.gamma = gamma
         self.min_child_weight = min_child_weight
         self.base_score = base_score
-        self.trees: List[_RegressionTree] = []
+        self.trees: list[_RegressionTree] = []
         self.base_margin = float(np.log(base_score / (1 - base_score)))
-        self.n_inputs: Optional[int] = None
+        self.n_inputs: int | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         X = np.asarray(X, dtype=np.uint8)

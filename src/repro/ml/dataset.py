@@ -10,7 +10,6 @@ subsampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -59,7 +58,7 @@ class Dataset:
 
     def split_stratified(
         self, train_fraction: float, rng: np.random.Generator
-    ) -> Tuple["Dataset", "Dataset"]:
+    ) -> tuple["Dataset", "Dataset"]:
         """Split preserving the label distribution.
 
         Returns ``(first, second)`` where ``first`` holds roughly

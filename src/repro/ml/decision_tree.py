@@ -22,7 +22,6 @@ can turn them into MUX-tree AIGs or path covers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import stats
@@ -80,11 +79,11 @@ class DecisionTree:
 
     def __init__(
         self,
-        max_depth: Optional[int] = None,
+        max_depth: int | None = None,
         min_samples_leaf: int = 1,
         criterion: str = "entropy",
         min_gain: float = 1e-9,
-        decomposition_tau: Optional[float] = None,
+        decomposition_tau: float | None = None,
     ):
         if criterion not in ("entropy", "gini"):
             raise ValueError(f"unknown criterion {criterion!r}")
@@ -93,8 +92,8 @@ class DecisionTree:
         self.criterion = criterion
         self.min_gain = min_gain
         self.decomposition_tau = decomposition_tau
-        self.nodes: List[TreeNode] = []
-        self.n_inputs: Optional[int] = None
+        self.nodes: list[TreeNode] = []
+        self.n_inputs: int | None = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -165,7 +164,7 @@ class DecisionTree:
         node.right = self._grow(X, y, idx_right, depth + 1, new_banned)
         return node_id
 
-    def _best_split(self, X, y, idx, banned) -> Tuple[Optional[int], float]:
+    def _best_split(self, X, y, idx, banned) -> tuple[int | None, float]:
         """Highest-gain feature over the node's samples (vectorized)."""
         Xn = X[idx]
         yn = y[idx]
@@ -194,7 +193,7 @@ class DecisionTree:
             return None, 0.0
         return best, float(gains[best])
 
-    def _decomposition_split(self, X, y, idx, banned) -> Optional[int]:
+    def _decomposition_split(self, X, y, idx, banned) -> int | None:
         """Team 8's fallback: constant branch or complement branches.
 
         Checked aggressively (complement assumed until a counterexample
@@ -228,7 +227,7 @@ class DecisionTree:
         """
         other_cols = [c for c in range(Xn.shape[1]) if c != feature]
         seen = {}
-        for row, label in zip(Xn, yn):
+        for row, label in zip(Xn, yn, strict=True):
             key = row[other_cols].tobytes()
             side = row[feature]
             prev = seen.get(key)
@@ -326,9 +325,9 @@ class DecisionTree:
         """
         if self.n_inputs is None:
             raise RuntimeError("tree is not fitted")
-        cubes: List[Cube] = []
+        cubes: list[Cube] = []
 
-        def rec(node_id: int, path: List[Tuple[int, int]]):
+        def rec(node_id: int, path: list[tuple[int, int]]):
             node = self.nodes[node_id]
             if node.is_leaf:
                 if node.value == 1:

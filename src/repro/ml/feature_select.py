@@ -8,7 +8,7 @@ arbitrary fitted model (Team 4's level-1 ranking).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -117,7 +117,7 @@ def permutation_importance(
     X: np.ndarray,
     y: np.ndarray,
     n_repeats: int = 5,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Mean accuracy drop when each feature column is shuffled."""
     if rng is None:

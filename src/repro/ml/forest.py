@@ -9,8 +9,6 @@ feature subset, per Breiman.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import numpy as np
 
 from repro.ml.decision_tree import DecisionTree
@@ -22,12 +20,12 @@ class RandomForest:
     def __init__(
         self,
         n_trees: int = 17,
-        max_depth: Optional[int] = 8,
+        max_depth: int | None = 8,
         min_samples_leaf: int = 1,
-        feature_fraction: Optional[float] = None,
+        feature_fraction: float | None = None,
         bootstrap: bool = True,
         criterion: str = "entropy",
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ):
         if n_trees % 2 == 0:
             raise ValueError("use an odd tree count so the vote cannot tie")
@@ -38,9 +36,9 @@ class RandomForest:
         self.bootstrap = bootstrap
         self.criterion = criterion
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.trees: List[DecisionTree] = []
-        self.feature_subsets: List[np.ndarray] = []
-        self.n_inputs: Optional[int] = None
+        self.trees: list[DecisionTree] = []
+        self.feature_subsets: list[np.ndarray] = []
+        self.n_inputs: int | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
         X = np.asarray(X, dtype=np.uint8)
@@ -79,7 +77,7 @@ class RandomForest:
         if X.ndim == 1:
             X = X[None, :]
         out = np.zeros((X.shape[0], self.n_trees), dtype=np.uint8)
-        for t, (tree, cols) in enumerate(zip(self.trees, self.feature_subsets)):
+        for t, (tree, cols) in enumerate(zip(self.trees, self.feature_subsets, strict=True)):
             out[:, t] = tree.predict(X[:, cols])
         return out
 

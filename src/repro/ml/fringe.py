@@ -15,7 +15,6 @@ bridge can realize each composite feature as two extra AIG nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
 
 import numpy as np
 
@@ -84,18 +83,18 @@ class FringeDT:
         self,
         max_iterations: int = 10,
         max_features: int = 64,
-        max_depth: Optional[int] = None,
+        max_depth: int | None = None,
         min_samples_leaf: int = 1,
-        confidence_factor: Optional[float] = 0.25,
+        confidence_factor: float | None = 0.25,
     ):
         self.max_iterations = max_iterations
         self.max_features = max_features
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.confidence_factor = confidence_factor
-        self.features: List[CompositeFeature] = []
-        self.tree: Optional[DecisionTree] = None
-        self.n_raw_inputs: Optional[int] = None
+        self.features: list[CompositeFeature] = []
+        self.tree: DecisionTree | None = None
+        self.n_raw_inputs: int | None = None
 
     # ------------------------------------------------------------------
     def featurize(self, X: np.ndarray) -> np.ndarray:
@@ -116,7 +115,7 @@ class FringeDT:
         y = np.asarray(y, dtype=np.uint8).ravel()
         self.n_raw_inputs = X.shape[1]
         self.features = []
-        seen: Set[CompositeFeature] = set()
+        seen: set[CompositeFeature] = set()
         for _ in range(self.max_iterations):
             Xa = self.featurize(X)
             tree = DecisionTree(
@@ -139,7 +138,7 @@ class FringeDT:
                 self.features.append(f)
         return self
 
-    def _fringe_candidates(self, tree: DecisionTree) -> List[CompositeFeature]:
+    def _fringe_candidates(self, tree: DecisionTree) -> list[CompositeFeature]:
         """Composite features from parent/leaf-child variable pairs.
 
         Two fringe shapes are recognized, covering the 12 two-variable
@@ -153,9 +152,9 @@ class FringeDT:
           one child's grandchildren are leaves — yields the AND-type
           pattern of the known half-space.
         """
-        found: List[CompositeFeature] = []
+        found: list[CompositeFeature] = []
 
-        def leaf_value(node_id) -> Optional[int]:
+        def leaf_value(node_id) -> int | None:
             node = tree.nodes[node_id]
             return node.value if node.is_leaf else None
 
@@ -212,7 +211,7 @@ _TT_TO_OP = {
 
 def _full_pattern_op(
     parent_side: int, other_value: int, leaf0: int, leaf1: int
-) -> Optional[str]:
+) -> str | None:
     """Op of a fully-known fringe subtree.
 
     The parent splits on ``a``; branch ``parent_side`` splits on ``b``
@@ -232,7 +231,7 @@ def _full_pattern_op(
     return _TT_TO_OP.get(table)
 
 
-def _pattern_op(parent_side: int, leaf0: int, leaf1: int) -> Optional[str]:
+def _pattern_op(parent_side: int, leaf0: int, leaf1: int) -> str | None:
     """Boolean op of the fringe pattern (parent var a, child var b).
 
     ``parent_side`` tells which branch of the parent we descended

@@ -15,8 +15,6 @@ once before any is duplicated.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import numpy as np
 
 
@@ -30,7 +28,7 @@ class LUTNetwork:
         lut_size: int = 4,
         scheme: str = "random",
         unseen_default: str = "zero",
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ):
         if scheme not in ("random", "unique"):
             raise ValueError(f"unknown wiring scheme {scheme!r}")
@@ -45,9 +43,9 @@ class LUTNetwork:
         # connections[l] has shape (width_l, k): indices into the
         # previous layer's outputs.  tables[l] has shape
         # (width_l, 2**k) of uint8.
-        self.connections: List[np.ndarray] = []
-        self.tables: List[np.ndarray] = []
-        self.n_inputs: Optional[int] = None
+        self.connections: list[np.ndarray] = []
+        self.tables: list[np.ndarray] = []
+        self.n_inputs: int | None = None
 
     # ------------------------------------------------------------------
     def _wire_layer(self, n_prev: int, width: int) -> np.ndarray:
@@ -108,7 +106,7 @@ class LUTNetwork:
         prev = np.asarray(X, dtype=np.uint8)
         if prev.ndim == 1:
             prev = prev[None, :]
-        for conns, tables in zip(self.connections, self.tables):
+        for conns, tables in zip(self.connections, self.tables, strict=True):
             patterns = self._layer_patterns(prev, conns)
             prev = np.take_along_axis(tables.T, patterns, axis=0)
             prev = prev.astype(np.uint8)

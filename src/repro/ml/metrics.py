@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Tuple
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -20,10 +20,10 @@ def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
 
 def stratified_kfold(
     y: np.ndarray, n_folds: int, rng: np.random.Generator
-) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield ``(train_idx, test_idx)`` pairs with per-class balance."""
     y = np.asarray(y).ravel()
-    folds: List[List[int]] = [[] for _ in range(n_folds)]
+    folds: list[list[int]] = [[] for _ in range(n_folds)]
     for label in np.unique(y):
         idx = np.nonzero(y == label)[0]
         idx = idx[rng.permutation(len(idx))]

@@ -19,7 +19,7 @@ Everything is plain numpy with manual backprop and Adam.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -72,7 +72,7 @@ class _Dense:
         self.activation = activation
         self._adam_state = None
 
-    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         z = x @ (self.W * self.mask) + self.b
         return z, _act(self.activation, z)
 
@@ -102,15 +102,15 @@ class MLP:
         self,
         hidden_sizes: Sequence[int] = (64, 32),
         activation: str = "relu",
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ):
         if activation not in _ACTIVATIONS:
             raise ValueError(f"unknown activation {activation!r}")
         self.hidden_sizes = tuple(hidden_sizes)
         self.activation = activation
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.layers: List[_Dense] = []
-        self.n_inputs: Optional[int] = None
+        self.layers: list[_Dense] = []
+        self.n_inputs: int | None = None
 
     # ------------------------------------------------------------------
     def _build(self, n_inputs: int) -> None:
@@ -193,7 +193,7 @@ class MLP:
             for layer in self.layers
         )
 
-    def neuron_fanins(self, layer_idx: int) -> List[np.ndarray]:
+    def neuron_fanins(self, layer_idx: int) -> list[np.ndarray]:
         """Indices of surviving input connections per neuron."""
         layer = self.layers[layer_idx]
         return [
@@ -257,12 +257,12 @@ class LogInteractionNet(MLP):
         n_cross: int = 32,
         hidden_sizes: Sequence[int] = (64, 32),
         eps: float = 0.05,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ):
         super().__init__(hidden_sizes=hidden_sizes, activation="relu", rng=rng)
         self.n_cross = n_cross
         self.eps = eps
-        self.W_log: Optional[np.ndarray] = None
+        self.W_log: np.ndarray | None = None
 
     def _transform(self, X: np.ndarray) -> np.ndarray:
         x = np.asarray(X, dtype=np.float64)

@@ -12,7 +12,6 @@ Fig. 10.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +22,7 @@ from repro.ml.decision_tree import DecisionTree
 class Rule:
     """Conjunction of ``(feature, value)`` tests implying ``label``."""
 
-    literals: Tuple[Tuple[int, int], ...]
+    literals: tuple[tuple[int, int], ...]
     label: int
 
     def matches(self, X: np.ndarray) -> np.ndarray:
@@ -36,7 +35,7 @@ class Rule:
 class RuleList:
     """Ordered rules with a default label; first match wins."""
 
-    def __init__(self, rules: List[Rule], default: int, n_inputs: int):
+    def __init__(self, rules: list[Rule], default: int, n_inputs: int):
         self.rules = rules
         self.default = default
         self.n_inputs = n_inputs
@@ -70,7 +69,7 @@ class PartRuleLearner:
         confidence_factor: float = 0.25,
         min_samples_leaf: int = 2,
         max_rules: int = 200,
-        max_depth: Optional[int] = None,
+        max_depth: int | None = None,
     ):
         self.confidence_factor = confidence_factor
         self.min_samples_leaf = min_samples_leaf
@@ -81,7 +80,7 @@ class PartRuleLearner:
         X = np.asarray(X, dtype=np.uint8)
         y = np.asarray(y, dtype=np.uint8).ravel()
         remaining = np.arange(X.shape[0])
-        rules: List[Rule] = []
+        rules: list[Rule] = []
         while remaining.size > 0 and len(rules) < self.max_rules:
             ys = y[remaining]
             if ys.min() == ys.max():
@@ -108,7 +107,7 @@ class PartRuleLearner:
         return RuleList(rules, default, X.shape[1])
 
     @staticmethod
-    def _best_leaf_rule(tree: DecisionTree) -> Optional[Rule]:
+    def _best_leaf_rule(tree: DecisionTree) -> Rule | None:
         """Rule from the leaf covering the most training samples."""
         best = None
         best_count = -1

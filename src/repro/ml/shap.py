@@ -14,9 +14,9 @@ version used to validate it in tests.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from itertools import combinations
 from math import comb
-from typing import Callable, Optional
 
 import numpy as np
 
@@ -28,7 +28,7 @@ def sampling_shapley(
     background: np.ndarray,
     x: np.ndarray,
     n_permutations: int = 64,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Monte-Carlo Shapley values of one sample ``x``.
 
@@ -103,7 +103,7 @@ def mean_abs_shapley(
     background: np.ndarray,
     samples: np.ndarray,
     n_permutations: int = 16,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Mean |Shapley| per feature over a set of samples (Fig. 26b)."""
     if rng is None:
@@ -122,7 +122,7 @@ def mean_shapley(
     background: np.ndarray,
     samples: np.ndarray,
     n_permutations: int = 16,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Signed mean Shapley per feature (Fig. 27's polarity pattern)."""
     if rng is None:

@@ -19,23 +19,25 @@ byte-identical to the unsharded run's.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any
 
+from repro.contest.evaluate import Score
 from repro.runner.store import PathLike, RunStore, benchmark_sort_key
 from repro.runner.task import TaskResult, TaskSpec, run_task
 
 
 def contest_tasks(
-    benchmarks: Sequence[object],
-    flow_names: Union[Sequence[str], Dict[str, str]],
+    benchmarks: Sequence[Any],
+    flow_names: Sequence[str] | dict[str, str],
     n_train: int,
     n_valid: int,
     n_test: int,
     effort: str = "small",
     master_seed: int = 0,
     trials: int = 1,
-) -> List[TaskSpec]:
+) -> list[TaskSpec]:
     """The full (flow x benchmark x trial) grid as task specs.
 
     ``benchmarks`` entries may be suite indices (ints — the historical
@@ -60,7 +62,7 @@ def contest_tasks(
         named = list(flow_names.items())
     else:
         named = [(name, name) for name in flow_names]
-    resolved: List[Union[int, str]] = []
+    resolved: list[int | str] = []
     for entry in benchmarks:
         if isinstance(entry, ProblemSpec):
             resolved.append(
@@ -70,7 +72,7 @@ def contest_tasks(
             resolved.append(entry)
         else:
             resolved.append(int(entry))
-    specs: List[TaskSpec] = []
+    specs: list[TaskSpec] = []
     for bench in resolved:
         for t in range(trials):
             for team, flow in named:
@@ -89,7 +91,7 @@ def contest_tasks(
     return specs
 
 
-def parse_shard(text: str) -> Tuple[int, int]:
+def parse_shard(text: str) -> tuple[int, int]:
     """Parse a ``"k/N"`` shard selector into ``(k, N)``.
 
     ``k`` counts from zero: valid selectors for a four-way split are
@@ -124,7 +126,7 @@ def shard_of(key: str, total: int) -> int:
 
 def shard_tasks(
     specs: Sequence[TaskSpec], index: int, total: int
-) -> List[TaskSpec]:
+) -> list[TaskSpec]:
     """The subset of a grid owned by shard ``index`` of ``total``.
 
     Partitioning hashes each task's *key*, so every shard computes its
@@ -174,11 +176,11 @@ def _execute(
 def run_tasks(
     specs: Sequence[TaskSpec],
     jobs: int = 1,
-    store: Optional[RunStore] = None,
+    store: RunStore | None = None,
     resume: bool = True,
     keep_solutions: bool = False,
     verbose: bool = False,
-) -> Dict[str, Dict[str, object]]:
+) -> dict[str, dict[str, Any]]:
     """Execute a task grid, returning ``{task key: record}``.
 
     With a ``store``, completed records are read first (when
@@ -186,7 +188,7 @@ def run_tasks(
     store is valid after an interruption at any point.
     """
     specs = list(specs)
-    done: Dict[str, Dict[str, object]] = {}
+    done: dict[str, dict[str, Any]] = {}
     if store is not None and resume:
         stored = store.load_records()
         done = {s.key: stored[s.key] for s in specs if s.key in stored}
@@ -210,7 +212,7 @@ def run_tasks(
 def run_contest_tasks(
     specs: Sequence[TaskSpec],
     jobs: int = 1,
-    out_dir: Optional[PathLike] = None,
+    out_dir: PathLike | None = None,
     resume: bool = True,
     keep_solutions: bool = False,
     verbose: bool = False,
@@ -250,7 +252,7 @@ def run_contest_tasks(
         keep_solutions=keep_solutions,
         verbose=verbose,
     )
-    scores_by_team: Dict[str, List] = {}
+    scores_by_team: dict[str, list[Score]] = {}
     for spec in specs:
         scores_by_team.setdefault(spec.team_name, []).append(
             score_from_record(records[spec.key])
@@ -277,8 +279,8 @@ def load_contest_runs(out_dirs: Sequence[PathLike]):
     from repro.runner.store import canonical_line
     from repro.runner.task import score_from_record
 
-    records: Dict[str, Dict[str, object]] = {}
-    origins: Dict[str, PathLike] = {}
+    records: dict[str, dict[str, Any]] = {}
+    origins: dict[str, PathLike] = {}
     found_any = False
     for out_dir in out_dirs:
         store = RunStore(out_dir)
@@ -306,7 +308,7 @@ def load_contest_runs(out_dirs: Sequence[PathLike]):
         key=lambda r: (str(r.get("team", r["flow"])),
                        benchmark_sort_key(r["benchmark"]), r["seed"]),
     )
-    scores: Dict[str, List] = {}
+    scores: dict[str, list[Score]] = {}
     for record in ordered:
         team = str(record.get("team", record["flow"]))
         scores.setdefault(team, []).append(score_from_record(record))

@@ -27,13 +27,14 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any
 
 from repro.contest.evaluate import Score
 from repro.runner.task import RECORD_SCHEMA, TaskSpec, score_from_record
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 MANIFEST_NAME = "manifest.json"
 RECORDS_NAME = "records.jsonl"
@@ -46,12 +47,12 @@ _CONFIG_KEYS = ("schema", "n_train", "n_valid", "n_test", "effort")
 _GRID_KEYS = ("benchmarks", "flows", "seeds")
 
 
-def canonical_line(record: Dict[str, object]) -> str:
+def canonical_line(record: dict[str, object]) -> str:
     """The one true serialization of a record (no trailing newline)."""
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
-def benchmark_sort_key(benchmark: object) -> Tuple[bool, int, str]:
+def benchmark_sort_key(benchmark: object) -> tuple[bool, int, str]:
     """Total order over mixed benchmark identifiers.
 
     Records may carry integer suite indices (historical runs) or
@@ -107,12 +108,12 @@ class RunStore:
 
     # -- manifest ----------------------------------------------------
 
-    def read_manifest(self) -> Optional[Dict[str, object]]:
+    def read_manifest(self) -> dict[str, Any] | None:
         if not self.manifest_path.exists():
             return None
         return json.loads(self.manifest_path.read_text(encoding="utf-8"))
 
-    def ensure_manifest(self, config: Dict[str, object]) -> None:
+    def ensure_manifest(self, config: dict[str, Any]) -> None:
         """Create the manifest, or verify it matches ``config``.
 
         A run directory is bound to one sampling configuration; mixing
@@ -147,7 +148,7 @@ class RunStore:
 
     # -- records -----------------------------------------------------
 
-    def load_records(self) -> Dict[str, Dict[str, object]]:
+    def load_records(self) -> dict[str, dict[str, Any]]:
         """All stored records, indexed by task key (last wins).
 
         A run killed mid-append (SIGKILL, OOM, disk full) leaves a
@@ -156,7 +157,7 @@ class RunStore:
         on resume.  An unparsable line anywhere else means the file
         was edited or corrupted, and raises.
         """
-        records: Dict[str, Dict[str, object]] = {}
+        records: dict[str, dict[str, Any]] = {}
         if not self.records_path.exists():
             return records
         lines = self.records_path.read_text(encoding="utf-8").splitlines()
@@ -164,14 +165,14 @@ class RunStore:
         for pos, line in enumerate(stripped):
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError:
+            except json.JSONDecodeError as exc:
                 if pos == len(stripped) - 1:
                     break  # torn tail from an interrupted append
                 raise ValueError(
                     f"{self.records_path} line {pos + 1} is not valid "
                     f"JSON (mid-file corruption, not an interrupted "
                     f"append): {line[:60]!r}"
-                )
+                ) from exc
             schema = record.get("schema", RECORD_SCHEMA)
             if schema != RECORD_SCHEMA:
                 raise ValueError(
@@ -183,8 +184,8 @@ class RunStore:
             records[record["key"]] = record
         return records
 
-    def append(self, record: Dict[str, object],
-               aag: Optional[str] = None) -> None:
+    def append(self, record: dict[str, Any],
+               aag: str | None = None) -> None:
         """Persist one completed task (record line + optional .aag)."""
         self.root.mkdir(parents=True, exist_ok=True)
         # A previous append torn mid-line (crash during write) leaves
@@ -217,7 +218,7 @@ class RunStore:
             or (self.solutions_dir / _legacy_solution_filename(key)).exists()
         )
 
-    def solution_text(self, key: str) -> Optional[str]:
+    def solution_text(self, key: str) -> str | None:
         """Stored ``.aag`` text for a task, or ``None`` if not kept.
 
         Falls back to the legacy pre-digest filename so stores written
@@ -235,8 +236,8 @@ class RunStore:
     # -- reconstruction ----------------------------------------------
 
     def scores_by_team(
-        self, specs: Optional[List[TaskSpec]] = None
-    ) -> Dict[str, List[Score]]:
+        self, specs: list[TaskSpec] | None = None
+    ) -> dict[str, list[Score]]:
         """Rebuild the ``ContestRun`` payload from stored records.
 
         With ``specs`` the scores follow the given task order exactly
@@ -244,7 +245,7 @@ class RunStore:
         ordered by (team, benchmark index, seed) for determinism.
         """
         records = self.load_records()
-        out: Dict[str, List[Score]] = {}
+        out: dict[str, list[Score]] = {}
         if specs is not None:
             missing = [s.key for s in specs if s.key not in records]
             if missing:
@@ -287,7 +288,7 @@ def merge_stores(
     if not stores:
         raise ValueError("merge_stores needs at least one source")
 
-    merged_manifest: Dict[str, object] = {}
+    merged_manifest: dict[str, Any] = {}
     for store in stores:
         manifest = store.read_manifest()
         if manifest is None:
@@ -311,9 +312,9 @@ def merge_stores(
                     both, key=benchmark_sort_key
                 ) if key == "benchmarks" else sorted(both)
 
-    records: Dict[str, Dict[str, object]] = {}
-    origins: Dict[str, Path] = {}
-    solutions: Dict[str, str] = {}
+    records: dict[str, dict[str, Any]] = {}
+    origins: dict[str, Path] = {}
+    solutions: dict[str, str] = {}
     for store in stores:
         for key, record in store.load_records().items():
             if key in records and \

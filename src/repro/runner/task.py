@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import hashlib
 import importlib
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, Optional, Union
+from typing import Any
 
 import numpy as np
 
@@ -35,7 +36,7 @@ from repro.contest.problem import LearningProblem, Solution
 RECORD_SCHEMA = 1
 
 
-def initialize_worker(sim_backend: Optional[str] = None) -> None:
+def initialize_worker(sim_backend: str | None = None) -> None:
     """Process-pool initializer: adopt the parent's session settings.
 
     Workers spawned by :mod:`repro.runner.runner` respect the
@@ -66,14 +67,14 @@ class TaskSpec:
     :data:`repro.contest.registry.DEFAULT_REGISTRY`.
     """
 
-    benchmark: Union[int, str]  # suite index or registry problem name
+    benchmark: int | str  # suite index or registry problem name
     flow: str  # registry name/spec string or "module:qualname" path
     seed: int  # master seed for sampling and the flow's RNG streams
     n_train: int
     n_valid: int
     n_test: int
     effort: str = "small"
-    team: Optional[str] = None  # display name; defaults to ``flow``
+    team: str | None = None  # display name; defaults to ``flow``
 
     @property
     def key(self) -> str:
@@ -102,7 +103,7 @@ def resolve_flow(name: str) -> Callable:
         return REGISTRY.resolve(name)
     if ":" in name and "=" not in name:
         module_name, _, qualname = name.partition(":")
-        obj = importlib.import_module(module_name)
+        obj: Any = importlib.import_module(module_name)
         for part in qualname.split("."):
             obj = getattr(obj, part)
         return obj
@@ -147,7 +148,7 @@ def flow_name_for(name: str, flow: Callable) -> str:
 
 @lru_cache(maxsize=4)
 def _cached_problem(
-    benchmark: Union[int, str],
+    benchmark: int | str,
     n_train: int,
     n_valid: int,
     n_test: int,
@@ -182,7 +183,7 @@ def make_task_problem(spec: TaskSpec) -> LearningProblem:
 
 
 def dataset_fingerprint(
-    benchmark: Union[int, str],
+    benchmark: int | str,
     n_train: int,
     n_valid: int,
     n_test: int,
@@ -222,7 +223,7 @@ def _json_safe(value):
     return repr(value)
 
 
-def score_to_record(score: Score) -> Dict[str, object]:
+def score_to_record(score: Score) -> dict[str, Any]:
     """Serialize a Score losslessly (floats keep their exact value).
 
     ``seed`` is emitted only when set: freshly evaluated scores carry
@@ -244,7 +245,7 @@ def score_to_record(score: Score) -> Dict[str, object]:
     return record
 
 
-def score_from_record(record: Dict[str, object]) -> Score:
+def score_from_record(record: dict[str, Any]) -> Score:
     """Inverse of :func:`score_to_record` (exact round-trip).
 
     The record's task-level ``seed`` is attached to the Score, so
@@ -269,8 +270,8 @@ class TaskResult:
     """What a worker sends back: the record plus the optional circuit."""
 
     spec: TaskSpec
-    record: Dict[str, object]
-    aag: Optional[str] = None
+    record: dict[str, Any]
+    aag: str | None = None
 
 
 def run_task(spec: TaskSpec, keep_solution: bool = False) -> TaskResult:

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -83,8 +83,8 @@ class _Pending:
     """One queued request: its validated rows and how to answer it."""
 
     mat: np.ndarray
-    future: "asyncio.Future[np.ndarray]"
-    timer: Optional[asyncio.TimerHandle] = field(default=None)
+    future: asyncio.Future[np.ndarray]
+    timer: asyncio.TimerHandle | None = field(default=None)
 
     def settle_timer(self) -> None:
         if self.timer is not None:
@@ -126,10 +126,10 @@ class MicroBatcher:
         store: ModelStore,
         tick_s: float = 0.002,
         max_batch: int = 4096,
-        pool: Optional[WorkerPool] = None,
-        max_queued_rows: Optional[int] = None,
-        deadline_s: Optional[float] = None,
-        metrics: Optional[ServeMetrics] = None,
+        pool: WorkerPool | None = None,
+        max_queued_rows: int | None = None,
+        deadline_s: float | None = None,
+        metrics: ServeMetrics | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -144,10 +144,10 @@ class MicroBatcher:
         self.max_queued_rows = max_queued_rows
         self.deadline_s = deadline_s
         self.metrics = metrics
-        self._queues: Dict[str, List[_Pending]] = {}
-        self._queued_rows: Dict[str, int] = {}
-        self._inflight_rows: Dict[str, int] = {}
-        self._timers: Dict[str, asyncio.TimerHandle] = {}
+        self._queues: dict[str, list[_Pending]] = {}
+        self._queued_rows: dict[str, int] = {}
+        self._inflight_rows: dict[str, int] = {}
+        self._timers: dict[str, asyncio.TimerHandle] = {}
         self.requests = 0
         self.batches = 0
         self.rows_served = 0
@@ -165,11 +165,11 @@ class MicroBatcher:
             + self._inflight_rows.get(name, 0)
         )
 
-    def queue_depths(self) -> Dict[str, int]:
+    def queue_depths(self) -> dict[str, int]:
         """``{model: queued rows}`` for every non-empty queue."""
         return {k: v for k, v in self._queued_rows.items() if v}
 
-    def inflight_depths(self) -> Dict[str, int]:
+    def inflight_depths(self) -> dict[str, int]:
         """``{model: in-flight rows}`` for every live dispatch."""
         return {k: v for k, v in self._inflight_rows.items() if v}
 
@@ -201,7 +201,7 @@ class MicroBatcher:
                 retry_after_s=max(self.tick_s, 0.001) * 16,
             )
         loop = asyncio.get_running_loop()
-        future: "asyncio.Future[np.ndarray]" = loop.create_future()
+        future: asyncio.Future[np.ndarray] = loop.create_future()
         entry = _Pending(mat, future)
         if self.deadline_s is not None:
             entry.timer = loop.call_later(
@@ -260,8 +260,8 @@ class MicroBatcher:
     def _flush_inline(
         self,
         name: str,
-        live: List[_Pending],
-        blocks: List[np.ndarray],
+        live: list[_Pending],
+        blocks: list[np.ndarray],
         total_rows: int,
     ) -> None:
         try:
@@ -272,18 +272,19 @@ class MicroBatcher:
             self._fail_batch(live, name, exc)
             return
         self._record_batch(len(live), total_rows)
-        for entry, out in zip(live, outs):
+        for entry, out in zip(live, outs, strict=True):
             if not entry.future.done():
                 entry.future.set_result(out)
 
     def _flush_to_pool(
         self,
         name: str,
-        live: List[_Pending],
-        blocks: List[np.ndarray],
+        live: list[_Pending],
+        blocks: list[np.ndarray],
         total_rows: int,
     ) -> None:
-        assert self.pool is not None
+        if self.pool is None:  # callers route here only in pool mode
+            raise RuntimeError("_flush_to_pool called without a pool")
         bundle = self.store.bundle(name)
         stacked = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
         self._inflight_rows[name] = (
@@ -296,7 +297,7 @@ class MicroBatcher:
             self._fail_batch(live, name, exc)
             return
 
-        def _deliver(done: "asyncio.Future[np.ndarray]") -> None:
+        def _deliver(done: asyncio.Future[np.ndarray]) -> None:
             self._inflight_rows[name] = max(
                 0, self._inflight_rows.get(name, 0) - total_rows
             )
@@ -319,7 +320,7 @@ class MicroBatcher:
         dispatch.add_done_callback(_deliver)
 
     def _fail_batch(
-        self, live: List[_Pending], name: str, exc: BaseException
+        self, live: list[_Pending], name: str, exc: BaseException
     ) -> None:
         """Answer every waiting caller with a *server-side* error.
 
@@ -353,7 +354,7 @@ class MicroBatcher:
         for name in list(self._queues):
             self._flush(name)
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         return {
             "sim_backend": self.store.sim_backend,
             "requests": self.requests,

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any
 
 import numpy as np
 
@@ -22,7 +23,7 @@ from repro.aig.aig import AIG
 from repro.aig.aiger import loads_aag
 from repro.sim.batch import simulate_rows_grouped
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def validate_rows(rows: Any, n_inputs: int, name: str) -> np.ndarray:
@@ -74,13 +75,13 @@ class ModelInfo:
     n_outputs: int
     num_ands: int
     levels: int
-    flow: Optional[str] = None
-    seed: Optional[int] = None
-    test_accuracy: Optional[float] = None
-    benchmark: Union[int, str, None] = None  # suite index or registry name
-    key: Optional[str] = None  # run-store task key, when from a store
+    flow: str | None = None
+    seed: int | None = None
+    test_accuracy: float | None = None
+    benchmark: int | str | None = None  # suite index or registry name
+    key: str | None = None  # run-store task key, when from a store
 
-    def to_json(self) -> Dict[str, Any]:
+    def to_json(self) -> dict[str, Any]:
         """JSON-safe dict (what ``/models`` serves)."""
         return asdict(self)
 
@@ -100,7 +101,7 @@ class CompiledCircuit:
     """
 
     def __init__(
-        self, aig: AIG, info: ModelInfo, backend: Optional[str] = None
+        self, aig: AIG, info: ModelInfo, backend: str | None = None
     ):
         self.aig = aig
         self.info = info
@@ -128,7 +129,7 @@ class CompiledCircuit:
 
     def predict_grouped(
         self, row_blocks: Sequence[np.ndarray]
-    ) -> List[np.ndarray]:
+    ) -> list[np.ndarray]:
         """Evaluate many row blocks in one engine pass (coalescing)."""
         blocks = [self.validate_rows(b) for b in row_blocks]
         return simulate_rows_grouped(self.compiled, blocks)
@@ -137,12 +138,12 @@ class CompiledCircuit:
 class CircuitBundle:
     """AIGER text + metadata, compiled lazily and at most once."""
 
-    def __init__(self, aag_text: str, metadata: Optional[Dict[str, Any]] = None):
+    def __init__(self, aag_text: str, metadata: dict[str, Any] | None = None):
         self.aag_text = aag_text
-        self.metadata: Dict[str, Any] = dict(metadata or {})
-        self._compiled: Optional[CompiledCircuit] = None
-        self._info: Optional[ModelInfo] = None
-        self._digest: Optional[str] = None
+        self.metadata: dict[str, Any] = dict(metadata or {})
+        self._compiled: CompiledCircuit | None = None
+        self._info: ModelInfo | None = None
+        self._digest: str | None = None
 
     @property
     def digest(self) -> str:
@@ -162,7 +163,7 @@ class CircuitBundle:
 
     @classmethod
     def from_files(
-        cls, aag_path: PathLike, meta_path: Optional[PathLike] = None
+        cls, aag_path: PathLike, meta_path: PathLike | None = None
     ) -> "CircuitBundle":
         """Load from an ``.aag`` file plus an optional JSON sidecar.
 
@@ -171,7 +172,7 @@ class CircuitBundle:
         one (the name defaults to the file stem).
         """
         aag_path = Path(aag_path)
-        metadata: Dict[str, Any] = {}
+        metadata: dict[str, Any] = {}
         if meta_path is None:
             sidecar = aag_path.with_suffix(".json")
             if sidecar.exists():
@@ -237,7 +238,7 @@ class CircuitBundle:
                 self._compiled = None  # keep the info, release the plan
         return self._info
 
-    def compile(self, backend: Optional[str] = None) -> CompiledCircuit:
+    def compile(self, backend: str | None = None) -> CompiledCircuit:
         """Parse + levelize-compile the circuit (cached afterwards).
 
         The memoized instance is keyed on the *effective* backend:

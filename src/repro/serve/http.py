@@ -40,7 +40,7 @@ import asyncio
 import json
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any
 
 from repro.serve.batching import (
     DeadlineExceeded,
@@ -73,12 +73,12 @@ class HttpError(Exception):
         self,
         status: int,
         message: str,
-        headers: Optional[Dict[str, str]] = None,
+        headers: dict[str, str] | None = None,
     ):
         super().__init__(message)
         self.status = status
         self.message = message
-        self.headers: Dict[str, str] = dict(headers or {})
+        self.headers: dict[str, str] = dict(headers or {})
 
 
 class ServeApp:
@@ -96,14 +96,14 @@ class ServeApp:
 
     def __init__(
         self,
-        store: Union[ModelStore, str],
+        store: ModelStore | str,
         tick_s: float = 0.002,
         max_batch: int = 4096,
         cache_size: int = 32,
-        sim_backend: Optional[str] = None,
+        sim_backend: str | None = None,
         workers: int = 0,
-        max_queued_rows: Optional[int] = None,
-        deadline_ms: Optional[float] = None,
+        max_queued_rows: int | None = None,
+        deadline_ms: float | None = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = in-process)")
@@ -113,7 +113,7 @@ class ServeApp:
             )
         self.store = store
         self.metrics = ServeMetrics()
-        self.pool: Optional[WorkerPool] = None
+        self.pool: WorkerPool | None = None
         if workers > 0:
             # Workers adopt the parent's *effective* backend — the
             # same initializer pattern the contest runner uses.
@@ -186,7 +186,7 @@ class ServeApp:
 
     # -- endpoint bodies (JSON-object in, JSON-object out) -----------
 
-    def healthz(self) -> Dict[str, Any]:
+    def healthz(self) -> dict[str, Any]:
         return {
             "status": "ok",
             "uptime_s": round(time.monotonic() - self.started, 3),
@@ -196,7 +196,7 @@ class ServeApp:
             "pool": self.pool.stats() if self.pool is not None else None,
         }
 
-    def models(self) -> Dict[str, Any]:
+    def models(self) -> dict[str, Any]:
         backends = self.store.compiled_backends()
         infos = []
         for info in self.store.infos():
@@ -206,7 +206,7 @@ class ServeApp:
             infos.append(payload)
         return {"models": infos}
 
-    async def predict(self, model: str, body: Dict[str, Any]) -> Dict[str, Any]:
+    async def predict(self, model: str, body: dict[str, Any]) -> dict[str, Any]:
         try:
             name = self.store.resolve(model)
         except KeyError as exc:
@@ -248,7 +248,7 @@ class ServeApp:
 
     async def dispatch(
         self, method: str, path: str, body_bytes: bytes
-    ) -> Tuple[int, Union[Dict[str, Any], str]]:
+    ) -> tuple[int, dict[str, Any] | str]:
         self.metrics.requests_total.inc(label_value=_endpoint_label(path))
         if path == "/healthz":
             if method != "GET":
@@ -291,8 +291,8 @@ class ServeApp:
                 if request is None:
                     break
                 method, path, headers, body_bytes = request
-                payload: Union[Dict[str, Any], str]
-                extra_headers: Optional[Dict[str, str]] = None
+                payload: dict[str, Any] | str
+                extra_headers: dict[str, str] | None = None
                 try:
                     status, payload = await self.dispatch(method, path, body_bytes)
                 except HttpError as exc:
@@ -327,7 +327,7 @@ class ServeApp:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+) -> tuple[str, str, dict[str, str], bytes] | None:
     """Parse one HTTP/1.x request; ``None`` on clean EOF."""
     try:
         line = await reader.readline()
@@ -339,7 +339,7 @@ async def _read_request(
     if len(parts) != 3:
         raise HttpError(400, f"malformed request line: {line[:80]!r}")
     method, path, _version = parts
-    headers: Dict[str, str] = {}
+    headers: dict[str, str] = {}
     header_bytes = 0
     while True:
         try:
@@ -392,15 +392,15 @@ def _endpoint_label(path: str) -> str:
 
 def _encode_response(
     status: int,
-    payload: Union[Dict[str, Any], str],
+    payload: dict[str, Any] | str,
     keep_alive: bool,
-    extra_headers: Optional[Dict[str, str]] = None,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
     if isinstance(payload, str):  # /metrics text exposition
         body = payload.encode("utf-8")
         content_type = "text/plain; version=0.0.4; charset=utf-8"
     else:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
         content_type = "application/json"
     extras = "".join(
         f"{name}: {value}\r\n"
@@ -457,10 +457,10 @@ class ServerHandle:
         self.app = app
         self.host = host
         self.port = 0
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._thread: Optional[threading.Thread] = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
 
-    def __enter__(self) -> "ServerHandle":
+    def __enter__(self) -> ServerHandle:
         # Spawn pool workers from *this* thread, before the server
         # thread exists — forking under a live event-loop thread is
         # where fork-safety problems breed.

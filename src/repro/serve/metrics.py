@@ -30,19 +30,19 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Mapping, Sequence
 
-LabelValue = Union[int, float]
-GaugeCallback = Callable[[], Union[LabelValue, Mapping[str, LabelValue]]]
+LabelValue = int | float
+GaugeCallback = Callable[[], LabelValue | Mapping[str, LabelValue]]
 
 #: Default latency buckets (seconds): sub-millisecond to multi-second.
-LATENCY_BUCKETS_S: Tuple[float, ...] = (
+LATENCY_BUCKETS_S: tuple[float, ...] = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
 #: Default batch-size buckets (rows per coalesced engine pass).
-BATCH_ROWS_BUCKETS: Tuple[float, ...] = (
+BATCH_ROWS_BUCKETS: tuple[float, ...] = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
 )
 
@@ -73,14 +73,14 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, help_text: str, label: Optional[str] = None):
+    def __init__(self, name: str, help_text: str, label: str | None = None):
         self.name = name
         self.help_text = help_text
         self.label = label
-        self._values: Dict[str, float] = {}
+        self._values: dict[str, float] = {}
         self._total: float = 0.0
 
-    def inc(self, amount: float = 1, label_value: Optional[str] = None) -> None:
+    def inc(self, amount: float = 1, label_value: str | None = None) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         self._total += amount
@@ -94,7 +94,7 @@ class Counter:
     def value(self, label_value: str) -> float:
         return self._values.get(label_value, 0.0)
 
-    def samples(self) -> List[Tuple[Dict[str, str], LabelValue]]:
+    def samples(self) -> list[tuple[dict[str, str], LabelValue]]:
         if self.label is None:
             return [({}, _as_number(self._total))]
         if not self._values:
@@ -120,8 +120,8 @@ class Gauge:
         self,
         name: str,
         help_text: str,
-        label: Optional[str] = None,
-        callback: Optional[GaugeCallback] = None,
+        label: str | None = None,
+        callback: GaugeCallback | None = None,
     ):
         self.name = name
         self.help_text = help_text
@@ -132,8 +132,8 @@ class Gauge:
     def set(self, value: LabelValue) -> None:
         self._value = value
 
-    def samples(self) -> List[Tuple[Dict[str, str], LabelValue]]:
-        value: Union[LabelValue, Mapping[str, LabelValue]]
+    def samples(self) -> list[tuple[dict[str, str], LabelValue]]:
+        value: LabelValue | Mapping[str, LabelValue]
         value = self._callback() if self._callback is not None else self._value
         if isinstance(value, Mapping):
             if self.label is None:
@@ -160,8 +160,8 @@ class Histogram:
             raise ValueError("histogram needs at least one bucket bound")
         self.name = name
         self.help_text = help_text
-        self.bounds: Tuple[float, ...] = tuple(bounds)
-        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)  # +Inf last
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: list[int] = [0] * (len(bounds) + 1)  # +Inf last
         self.count = 0
         self.sum = 0.0
 
@@ -184,16 +184,16 @@ class Histogram:
             return 0.0
         rank = q * self.count
         cumulative = 0
-        for bound, bucket in zip(self.bounds, self.bucket_counts):
+        for bound, bucket in zip(self.bounds, self.bucket_counts, strict=False):
             cumulative += bucket
             if cumulative >= rank:
                 return bound
         return self.bounds[-1]
 
-    def samples(self) -> List[Tuple[Dict[str, str], LabelValue]]:
-        out: List[Tuple[Dict[str, str], LabelValue]] = []
+    def samples(self) -> list[tuple[dict[str, str], LabelValue]]:
+        out: list[tuple[dict[str, str], LabelValue]] = []
         cumulative = 0
-        for bound, bucket in zip(self.bounds, self.bucket_counts):
+        for bound, bucket in zip(self.bounds, self.bucket_counts, strict=False):
             cumulative += bucket
             out.append(({"le": _format_value(bound)}, cumulative))
         out.append(({"le": "+Inf"}, self.count))
@@ -207,7 +207,7 @@ def _as_number(value: LabelValue) -> LabelValue:
     return value
 
 
-Instrument = Union[Counter, Gauge, Histogram]
+Instrument = Counter | Gauge | Histogram
 
 
 class MetricsRegistry:
@@ -223,7 +223,7 @@ class MetricsRegistry:
         self._instruments[instrument.name] = instrument
 
     def counter(
-        self, name: str, help_text: str, label: Optional[str] = None
+        self, name: str, help_text: str, label: str | None = None
     ) -> Counter:
         counter = Counter(f"{self.prefix}_{name}", help_text, label=label)
         self._register(counter)
@@ -233,8 +233,8 @@ class MetricsRegistry:
         self,
         name: str,
         help_text: str,
-        label: Optional[str] = None,
-        callback: Optional[GaugeCallback] = None,
+        label: str | None = None,
+        callback: GaugeCallback | None = None,
     ) -> Gauge:
         gauge = Gauge(
             f"{self.prefix}_{name}", help_text, label=label, callback=callback
@@ -251,7 +251,7 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """The full registry in the Prometheus text format."""
-        lines: List[str] = []
+        lines: list[str] = []
         for instrument in self._instruments.values():
             lines.append(f"# HELP {instrument.name} {instrument.help_text}")
             lines.append(f"# TYPE {instrument.name} {instrument.kind}")
@@ -283,7 +283,7 @@ class ServeMetrics:
     because they close over components built after the metrics.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, registry: MetricsRegistry | None = None):
         reg = registry if registry is not None else MetricsRegistry()
         self.registry = reg
         self.requests_total = reg.counter(
@@ -330,7 +330,7 @@ class ServeMetrics:
         name: str,
         help_text: str,
         callback: GaugeCallback,
-        label: Optional[str] = None,
+        label: str | None = None,
     ) -> Gauge:
         """Register a render-time callback gauge on the registry."""
         return self.registry.gauge(
@@ -341,14 +341,14 @@ class ServeMetrics:
         return self.registry.render()
 
 
-def parse_metrics_text(text: str) -> Dict[str, float]:
+def parse_metrics_text(text: str) -> dict[str, float]:
     """Parse an exposition blob into ``{name{labels}: value}``.
 
     The inverse of :meth:`MetricsRegistry.render` for tests and the
     bench harness — not a general Prometheus parser, but exact for
     what this module emits.
     """
-    out: Dict[str, float] = {}
+    out: dict[str, float] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):

@@ -14,13 +14,12 @@ rows to ``/predict/{model}`` — just without a server in the loop.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
 from repro.serve.store import ModelStore
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def read_rows_file(path: PathLike) -> np.ndarray:
@@ -63,7 +62,7 @@ def predict_file(
     in_path: PathLike,
     out_path: PathLike,
     cache_size: int = 32,
-    sim_backend: Optional[str] = None,
+    sim_backend: str | None = None,
 ) -> int:
     """Score a rows file against a stored model; returns row count.
 

@@ -26,15 +26,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any
 
 from repro.runner.store import RECORDS_NAME, RunStore
 from repro.serve.bundle import CircuitBundle, CompiledCircuit, ModelInfo
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
-def _record_rank(record: Dict[str, Any]) -> Tuple[Any, ...]:
+def _record_rank(record: dict[str, Any]) -> tuple[Any, ...]:
     """Sort key: better solutions first (see module docstring)."""
     return (
         not record.get("legal", True),
@@ -61,7 +61,7 @@ class ModelStore:
         self,
         root: PathLike,
         cache_size: int = 32,
-        sim_backend: Optional[str] = None,
+        sim_backend: str | None = None,
     ):
         from repro.sim.backend import resolve_backend
 
@@ -70,8 +70,8 @@ class ModelStore:
         self.root = Path(root)
         self.cache_size = cache_size
         self.sim_backend = resolve_backend(sim_backend)
-        self._bundles: Dict[str, CircuitBundle] = {}
-        self._cache: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
+        self._bundles: dict[str, CircuitBundle] = {}
+        self._cache: OrderedDict[str, CompiledCircuit] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -113,9 +113,9 @@ class ModelStore:
                 del self._cache[name]
                 self.stale_evictions += 1
 
-    def _scan_run_store(self) -> Dict[str, CircuitBundle]:
+    def _scan_run_store(self) -> dict[str, CircuitBundle]:
         store = RunStore(self.root)
-        best: Dict[str, Dict[str, Any]] = {}
+        best: dict[str, dict[str, Any]] = {}
         for key, record in store.load_records().items():
             if not store.has_solution(key):  # stat only; read later
                 continue
@@ -123,22 +123,22 @@ class ModelStore:
             if name not in best or _record_rank(record) < _record_rank(best[name]):
                 best[name] = record
         # Only the winners' circuits are actually read off disk.
-        bundles: Dict[str, CircuitBundle] = {}
+        bundles: dict[str, CircuitBundle] = {}
         for name, record in best.items():
             aag = store.solution_text(str(record["key"]))
             if aag is not None:  # deleted between stat and read
                 bundles[name] = CircuitBundle(aag, record)
         return bundles
 
-    def _scan_bundle_dir(self) -> Dict[str, CircuitBundle]:
-        bundles: Dict[str, CircuitBundle] = {}
+    def _scan_bundle_dir(self) -> dict[str, CircuitBundle]:
+        bundles: dict[str, CircuitBundle] = {}
         for path in sorted(self.root.glob("*.aag")):
             bundle = CircuitBundle.from_files(path)
             name = str(bundle.metadata.get("benchmark_name", path.stem))
             bundles[name] = bundle
         return bundles
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Servable model names, sorted."""
         return sorted(self._bundles)
 
@@ -201,16 +201,16 @@ class ModelStore:
         """
         return self._bundles[self.resolve(name)]
 
-    def infos(self) -> List[ModelInfo]:
+    def infos(self) -> list[ModelInfo]:
         return [self.info(name) for name in self.names()]
 
     # -- compiled-plan LRU -------------------------------------------
 
-    def cached_names(self) -> List[str]:
+    def cached_names(self) -> list[str]:
         """Models currently holding a compiled plan (LRU order)."""
         return list(self._cache)
 
-    def compiled_backends(self) -> Dict[str, str]:
+    def compiled_backends(self) -> dict[str, str]:
         """``{model name: backend}`` for every compiled LRU entry."""
         return {name: c.backend for name, c in self._cache.items()}
 
@@ -233,7 +233,7 @@ class ModelStore:
             self._bundles[evicted].drop_compiled()
         return circuit
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         return {
             "models": len(self._bundles),
             "compiled": len(self._cache),

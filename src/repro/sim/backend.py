@@ -24,8 +24,8 @@ by contrast, always raise — a typo must not silently change what runs.
 from __future__ import annotations
 
 import os
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.executors import (
     BackendUnavailable,
@@ -48,12 +48,12 @@ class BackendSpec:
     name: str
     factory: Callable[[SimProgram], Executor]
     is_available: Callable[[], bool]
-    fallback: Optional[str] = None  # used silently when unavailable
+    fallback: str | None = None  # used silently when unavailable
     description: str = ""
 
 
-_REGISTRY: Dict[str, BackendSpec] = {}
-_forced: Optional[str] = None
+_REGISTRY: dict[str, BackendSpec] = {}
+_forced: str | None = None
 
 
 def register_backend(spec: BackendSpec) -> None:
@@ -82,12 +82,12 @@ register_backend(BackendSpec(
 ))
 
 
-def backend_names() -> Tuple[str, ...]:
+def backend_names() -> tuple[str, ...]:
     """All registered backend names, available or not."""
     return tuple(_REGISTRY)
 
 
-def available_backends() -> Tuple[str, ...]:
+def available_backends() -> tuple[str, ...]:
     """Backends usable in this process, in registration order."""
     return tuple(
         name for name, spec in _REGISTRY.items() if spec.is_available()
@@ -104,13 +104,13 @@ def _checked(name: str) -> str:
     return name
 
 
-def set_backend(name: Optional[str]) -> None:
+def set_backend(name: str | None) -> None:
     """Set the process-wide backend (``None`` clears the override)."""
     global _forced
     _forced = None if name is None else _checked(name)
 
 
-def resolve_backend(name: Optional[str] = None) -> str:
+def resolve_backend(name: str | None = None) -> str:
     """The effective backend for a request (see module docstring).
 
     Applies the documented precedence, validates the name, and walks
@@ -141,7 +141,7 @@ def get_backend() -> str:
 
 
 def executor_for(
-    program: SimProgram, backend: Optional[str] = None
+    program: SimProgram, backend: str | None = None
 ) -> Executor:
     """Build the selected backend's executor for ``program``."""
     return _REGISTRY[resolve_backend(backend)].factory(program)

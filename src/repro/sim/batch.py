@@ -13,7 +13,7 @@ switch without code changes of their own.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,8 +23,8 @@ from repro.utils.bitops import pack_bits, unpack_bits
 def simulate_datasets(
     aig,
     sample_matrices: Sequence[np.ndarray],
-    backend: Optional[str] = None,
-) -> List[np.ndarray]:
+    backend: str | None = None,
+) -> list[np.ndarray]:
     """Simulate one circuit on several sample matrices in one pass.
 
     The matrices (each ``(n_i, n_inputs)`` 0/1) are stacked, packed and
@@ -40,7 +40,7 @@ def simulate_datasets(
         return [compiled.run(mats[0])]
     stacked = np.vstack(mats)
     merged = compiled.run(stacked)
-    out: List[np.ndarray] = []
+    out: list[np.ndarray] = []
     offset = 0
     for m in mats:
         out.append(merged[offset : offset + m.shape[0]])
@@ -51,8 +51,8 @@ def simulate_datasets(
 def simulate_rows_grouped(
     compiled,
     row_blocks: Sequence[np.ndarray],
-    backend: Optional[str] = None,
-) -> List[np.ndarray]:
+    backend: str | None = None,
+) -> list[np.ndarray]:
     """One compiled circuit, many small row blocks, one engine pass.
 
     This is the microbatching primitive behind :mod:`repro.serve`: the
@@ -79,7 +79,7 @@ def simulate_rows_grouped(
         return []
     stacked = blocks[0] if len(blocks) == 1 else np.vstack(blocks)
     merged = compiled.run(stacked)
-    out: List[np.ndarray] = []
+    out: list[np.ndarray] = []
     offset = 0
     for mat in blocks:
         out.append(merged[offset : offset + mat.shape[0]])
@@ -90,8 +90,8 @@ def simulate_rows_grouped(
 def simulate_circuits(
     aigs: Sequence,
     samples: np.ndarray,
-    backend: Optional[str] = None,
-) -> List[np.ndarray]:
+    backend: str | None = None,
+) -> list[np.ndarray]:
     """Simulate many circuits on one sample matrix, packing it once.
 
     All circuits must have the same input count as ``samples`` has
@@ -115,8 +115,8 @@ def simulate_circuits(
 def output_predictions(
     aigs: Sequence,
     samples: np.ndarray,
-    backend: Optional[str] = None,
-) -> List[np.ndarray]:
+    backend: str | None = None,
+) -> list[np.ndarray]:
     """First-output predictions of many single-output candidates.
 
     Convenience wrapper for the contest setting (one output per

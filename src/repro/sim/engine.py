@@ -18,8 +18,6 @@ is split in two layers since the backend refactor:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
-
 import numpy as np
 
 from repro.sim.program import ALL_ONES, SimProgram, _levelize  # noqa: F401
@@ -39,8 +37,8 @@ class CompiledAIG:
 
     def __init__(
         self,
-        source: Union[SimProgram, object],
-        backend: Optional[str] = None,
+        source: SimProgram | object,
+        backend: str | None = None,
     ):
         from repro.sim.backend import executor_for
 
@@ -51,7 +49,7 @@ class CompiledAIG:
         self._executor = executor_for(self.program, backend)
         self.backend: str = self._executor.name
 
-    def with_backend(self, backend: Optional[str]) -> "CompiledAIG":
+    def with_backend(self, backend: str | None) -> "CompiledAIG":
         """This engine, or a sibling on another backend (shared IR)."""
         from repro.sim.backend import resolve_backend
 
@@ -81,7 +79,7 @@ class CompiledAIG:
         return self.program.depth
 
     @property
-    def level_widths(self) -> List[int]:
+    def level_widths(self) -> list[int]:
         """Number of AND nodes on each logic level ``>= 1``."""
         return self.program.level_widths
 
@@ -139,7 +137,7 @@ class CompiledAIG:
         return unpack_bits(out, samples.shape[0])
 
 
-def compile_aig(aig, backend: Optional[str] = None) -> CompiledAIG:
+def compile_aig(aig, backend: str | None = None) -> CompiledAIG:
     """Compile ``aig`` into its levelized form on ``backend``."""
     return CompiledAIG(aig, backend)
 

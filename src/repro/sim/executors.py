@@ -37,7 +37,7 @@ way out of every public entry point.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Protocol
 
 import numpy as np
 
@@ -112,20 +112,20 @@ class _ArenaMixin:
     """Slot arena reused across calls, rebuilt when n_words changes."""
 
     program: SimProgram
-    _values: Optional[np.ndarray]
-    _scratch: Optional[np.ndarray]
+    _values: np.ndarray | None
+    _scratch: np.ndarray | None
 
-    def _arena(self, n_words: int) -> np.ndarray:
-        values = self._values
-        if values is None or values.shape[1] != n_words:
+    def _arena(self, n_words: int) -> tuple[np.ndarray, np.ndarray]:
+        values, scratch = self._values, self._scratch
+        if values is None or scratch is None or values.shape[1] != n_words:
             values = np.empty(
                 (self.program.num_vars, n_words), dtype=np.uint64
             )
-            self._values = values
-            self._scratch = np.empty(
+            scratch = np.empty(
                 (2 * self.program.max_width, n_words), dtype=np.uint64
             )
-        return values
+            self._values, self._scratch = values, scratch
+        return values, scratch
 
 
 class FusedExecutor(_ArenaMixin):
@@ -139,10 +139,8 @@ class FusedExecutor(_ArenaMixin):
         self._scratch = None
 
     def run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
-        values = self._arena(packed_inputs.shape[1])
-        return _run_levels(
-            self.program, values, self._scratch, packed_inputs
-        )
+        values, scratch = self._arena(packed_inputs.shape[1])
+        return _run_levels(self.program, values, scratch, packed_inputs)
 
 
 # ---------------------------------------------------------------------
@@ -203,7 +201,7 @@ class NumbaExecutor(_ArenaMixin):
 
     def run_slots(self, packed_inputs: np.ndarray) -> np.ndarray:
         p = self.program
-        values = self._arena(packed_inputs.shape[1])
+        values, _ = self._arena(packed_inputs.shape[1])
         values[0] = 0
         values[1 : 1 + p.n_inputs] = packed_inputs
         if p.node_g0.size:

@@ -28,8 +28,6 @@ and shares it between every backend's executor.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
-
 import numpy as np
 
 ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -43,7 +41,7 @@ def _levelize(
     n_inputs: int,
     v0: np.ndarray,
     v1: np.ndarray,
-    _stats: Optional[dict] = None,
+    _stats: dict | None = None,
 ) -> np.ndarray:
     """Level of every variable, computed one *level* at a time.
 
@@ -76,7 +74,7 @@ def _levelize(
     # The first round moves every node off level 0, so it carries no
     # progress signal; the forecast starts once two rounds can be
     # compared.
-    prev_changed: Optional[int] = None
+    prev_changed: int | None = None
     rounds = 0
     fallback = True
     while True:
@@ -98,7 +96,7 @@ def _levelize(
     if not fallback:
         return lv
     levels = lv.tolist()
-    for j, (a, b) in enumerate(zip(v0.tolist(), v1.tolist())):
+    for j, (a, b) in enumerate(zip(v0.tolist(), v1.tolist(), strict=True)):
         la, lb = levels[a], levels[b]
         levels[base + j] = (la if la > lb else lb) + 1
     return np.asarray(levels, dtype=np.int32)
@@ -132,6 +130,23 @@ class SimProgram:
     Executors evaluate in slot space; :class:`repro.sim.engine.
     CompiledAIG` permutes back to variable order on the way out.
     """
+
+    schema: int
+    n_inputs: int
+    num_vars: int
+    num_outputs: int
+    var_levels: np.ndarray
+    depth: int
+    base_var: int
+    slot: np.ndarray
+    node_g0: np.ndarray
+    node_g1: np.ndarray
+    node_x0: np.ndarray
+    node_x1: np.ndarray
+    max_width: int
+    out_var: np.ndarray
+    out_slot: np.ndarray
+    out_mask: np.ndarray
 
     def __init__(self, aig):
         self.schema = PROGRAM_SCHEMA
@@ -171,7 +186,7 @@ class SimProgram:
         self.node_x0 = np.where(c0[order], ALL_ONES, zero).astype(np.uint64)
         self.node_x1 = np.where(c1[order], ALL_ONES, zero).astype(np.uint64)
         # Per-level view (the whole-array executors).
-        self.level_ops: List[Tuple[int, int, np.ndarray, int, int, int]] = []
+        self.level_ops: list[tuple[int, int, np.ndarray, int, int, int]] = []
         self.max_width = 0
         start = 0
         for stop in bounds:
@@ -198,7 +213,7 @@ class SimProgram:
         return self.num_vars - 1 - self.n_inputs
 
     @property
-    def level_widths(self) -> List[int]:
+    def level_widths(self) -> list[int]:
         """Number of AND nodes on each logic level ``>= 1``."""
         return [hi - lo for lo, hi, *_ in self.level_ops]
 

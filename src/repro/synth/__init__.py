@@ -7,13 +7,13 @@ get a majority voter (Teams 5/8), boosted trees a MAJ-5 tree (Team 7),
 pruned MLP neurons and LUT-network cells become LUTs (Teams 3/6).
 """
 
+from repro.synth.from_boosted import boosted_to_aig
+from repro.synth.from_forest import forest_to_aig
+from repro.synth.from_lutnet import lutnet_to_aig
+from repro.synth.from_mlp import mlp_to_aig
+from repro.synth.from_rules import rules_to_aig
 from repro.synth.from_sop import cover_to_aig
 from repro.synth.from_tree import fringe_dt_to_aig, tree_to_aig
-from repro.synth.from_forest import forest_to_aig
-from repro.synth.from_rules import rules_to_aig
-from repro.synth.from_boosted import boosted_to_aig
-from repro.synth.from_mlp import mlp_to_aig
-from repro.synth.from_lutnet import lutnet_to_aig
 from repro.synth.matching import match_standard_function
 from repro.synth.popcount_tree import PopcountTreeClassifier
 from repro.synth.verilog import aig_to_verilog, tree_to_verilog

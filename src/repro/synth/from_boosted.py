@@ -9,15 +9,13 @@ otherwise.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 from repro.aig.aig import AIG, CONST0, CONST1
 from repro.aig.build import maj5_tree, majority_n
 from repro.ml.boosting import GradientBoostedTrees, _RegressionTree
 
 
-def _reg_tree_lit(aig: AIG, tree: _RegressionTree, inputs: List[int]) -> int:
-    memo: Dict[int, int] = {}
+def _reg_tree_lit(aig: AIG, tree: _RegressionTree, inputs: list[int]) -> int:
+    memo: dict[int, int] = {}
 
     def rec(node_id: int) -> int:
         found = memo.get(node_id)

@@ -15,7 +15,7 @@ def forest_to_aig(forest: RandomForest) -> AIG:
     aig = AIG(forest.n_inputs)
     inputs = aig.input_lits()
     votes = []
-    for tree, cols in zip(forest.trees, forest.feature_subsets):
+    for tree, cols in zip(forest.trees, forest.feature_subsets, strict=True):
         feature_lits = [inputs[c] for c in cols]
         votes.append(tree_output_lit(tree, aig, feature_lits))
     aig.set_output(majority_n(aig, votes))

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.aig.aig import AIG
 from repro.aig.build import lut
 from repro.ml.lutnet import LUTNetwork
@@ -14,9 +12,9 @@ def lutnet_to_aig(model: LUTNetwork) -> AIG:
     if model.n_inputs is None:
         raise RuntimeError("LUT network is not fitted")
     aig = AIG(model.n_inputs)
-    prev: List[int] = aig.input_lits()
-    for conns, tables in zip(model.connections, model.tables):
-        new: List[int] = []
+    prev: list[int] = aig.input_lits()
+    for conns, tables in zip(model.connections, model.tables, strict=True):
+        new: list[int] = []
         for j in range(conns.shape[0]):
             table = 0
             for pattern, bit in enumerate(tables[j]):

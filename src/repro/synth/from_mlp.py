@@ -8,8 +8,6 @@ which is realized as a LUT over the literals of its fanin neurons.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from repro.aig.aig import AIG
@@ -41,10 +39,10 @@ def mlp_to_aig(model: MLP) -> AIG:
     if not model.layers or model.n_inputs is None:
         raise RuntimeError("MLP is not fitted")
     aig = AIG(model.n_inputs)
-    prev_lits: List[int] = aig.input_lits()
+    prev_lits: list[int] = aig.input_lits()
     for layer in model.layers:
         masked = layer.W * layer.mask
-        new_lits: List[int] = []
+        new_lits: list[int] = []
         for j in range(masked.shape[1]):
             alive = np.nonzero(layer.mask[:, j])[0]
             table = _neuron_table(

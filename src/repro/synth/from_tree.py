@@ -7,16 +7,14 @@ structural hashing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
 from repro.aig.aig import AIG, CONST0, CONST1
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.fringe import FringeDT
 
 
 def _tree_lit(
-    aig: AIG, tree: DecisionTree, node_id: int, feature_lits: List[int],
-    memo: Dict[int, int],
+    aig: AIG, tree: DecisionTree, node_id: int, feature_lits: list[int],
+    memo: dict[int, int],
 ) -> int:
     found = memo.get(node_id)
     if found is not None:
@@ -34,8 +32,8 @@ def _tree_lit(
 
 def tree_to_aig(
     tree: DecisionTree,
-    aig: Optional[AIG] = None,
-    feature_lits: Optional[List[int]] = None,
+    aig: AIG | None = None,
+    feature_lits: list[int] | None = None,
 ) -> AIG:
     """Compile a fitted tree.
 
@@ -53,7 +51,7 @@ def tree_to_aig(
 
 
 def tree_output_lit(
-    tree: DecisionTree, aig: AIG, feature_lits: List[int]
+    tree: DecisionTree, aig: AIG, feature_lits: list[int]
 ) -> int:
     """Graft a tree onto ``aig``; returns its output literal."""
     return _tree_lit(aig, tree, 0, feature_lits, {})

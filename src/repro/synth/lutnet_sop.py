@@ -12,8 +12,6 @@ loudly instead of exploding.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 from repro.aig.isop import full_mask, isop
 from repro.ml.lutnet import LUTNetwork
 from repro.twolevel.cover import Cover
@@ -24,7 +22,7 @@ class SopExplosion(RuntimeError):
     """Raised when flattening exceeds the cube budget."""
 
 
-def _cube_and(a: Cube, b: Cube) -> Optional[Cube]:
+def _cube_and(a: Cube, b: Cube) -> Cube | None:
     """Intersection of two cubes, or None if they conflict."""
     if (a.value ^ b.value) & (a.mask & b.mask):
         return None
@@ -33,17 +31,17 @@ def _cube_and(a: Cube, b: Cube) -> Optional[Cube]:
 
 def _compose(
     local_cover,
-    fanin_pos: List[List[Cube]],
-    fanin_neg: List[List[Cube]],
+    fanin_pos: list[list[Cube]],
+    fanin_neg: list[list[Cube]],
     max_cubes: int,
-) -> List[Cube]:
+) -> list[Cube]:
     """Substitute fanin covers into a local cover over LUT inputs."""
-    out: List[Cube] = []
+    out: list[Cube] = []
     for cube in local_cover:
-        partial: List[Cube] = [Cube.full()]
+        partial: list[Cube] = [Cube.full()]
         for var, value in cube:
             source = fanin_pos[var] if value else fanin_neg[var]
-            new_partial: List[Cube] = []
+            new_partial: list[Cube] = []
             for p in partial:
                 for q in source:
                     merged = _cube_and(p, q)
@@ -78,15 +76,15 @@ def lutnet_to_cover(
     fm = full_mask(k)
     # Per layer: positive and negative covers per cell, over primary
     # inputs.  Layer 0's "previous" cells are the inputs themselves.
-    pos: List[List[Cube]] = [
+    pos: list[list[Cube]] = [
         [Cube.from_literals([(i, 1)])] for i in range(net.n_inputs)
     ]
-    neg: List[List[Cube]] = [
+    neg: list[list[Cube]] = [
         [Cube.from_literals([(i, 0)])] for i in range(net.n_inputs)
     ]
-    for conns, tables in zip(net.connections, net.tables):
-        new_pos: List[List[Cube]] = []
-        new_neg: List[List[Cube]] = []
+    for conns, tables in zip(net.connections, net.tables, strict=True):
+        new_pos: list[list[Cube]] = []
+        new_neg: list[list[Cube]] = []
         for j in range(conns.shape[0]):
             table = 0
             for pattern, bit in enumerate(tables[j]):

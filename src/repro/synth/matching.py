@@ -22,8 +22,8 @@ Matchers provided (checked in this order):
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class Match:
     aig: AIG
 
 
-def _words(X: np.ndarray) -> Optional[Tuple[List[int], List[int]]]:
+def _words(X: np.ndarray) -> tuple[list[int], list[int]] | None:
     """Split even-width inputs into two LSB-first word value lists."""
     n = X.shape[1]
     if n % 2:
@@ -59,13 +59,13 @@ def _words(X: np.ndarray) -> Optional[Tuple[List[int], List[int]]]:
     return a, b
 
 
-def match_symmetric(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
+def match_symmetric(X: np.ndarray, y: np.ndarray) -> Match | None:
     """Label must be a function of the popcount, with every observed
     count consistent.  Unseen counts are filled with 0."""
     counts = X.sum(axis=1).astype(np.int64)
     n = X.shape[1]
     signature = ["-"] * (n + 1)
-    for c, label in zip(counts, y):
+    for c, label in zip(counts, y, strict=True):
         current = signature[c]
         if current == "-":
             signature[c] = "1" if label else "0"
@@ -86,13 +86,13 @@ def _check_predicate(
     return bool(np.array_equal(values.astype(np.uint8), y))
 
 
-def match_adder_bit(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
+def match_adder_bit(X: np.ndarray, y: np.ndarray) -> Match | None:
     words = _words(X)
     if words is None:
         return None
     a, b = words
     k = X.shape[1] // 2
-    sums = np.array([av + bv for av, bv in zip(a, b)], dtype=object)
+    sums = np.array([av + bv for av, bv in zip(a, b, strict=True)], dtype=object)
     for bit in range(k, -1, -1):
         predicted = np.array([(s >> bit) & 1 for s in sums], dtype=np.uint8)
         if _check_predicate(predicted, y):
@@ -104,7 +104,7 @@ def match_adder_bit(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
     return None
 
 
-def match_comparator(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
+def match_comparator(X: np.ndarray, y: np.ndarray) -> Match | None:
     words = _words(X)
     if words is None:
         return None
@@ -112,12 +112,12 @@ def match_comparator(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
     k = X.shape[1] // 2
     av = np.array(a, dtype=object)
     bv = np.array(b, dtype=object)
-    predicates: List[Tuple[str, np.ndarray]] = [
-        ("gt", np.array([x > z for x, z in zip(a, b)], dtype=np.uint8)),
-        ("ge", np.array([x >= z for x, z in zip(a, b)], dtype=np.uint8)),
-        ("lt", np.array([x < z for x, z in zip(a, b)], dtype=np.uint8)),
-        ("le", np.array([x <= z for x, z in zip(a, b)], dtype=np.uint8)),
-        ("eq", np.array([x == z for x, z in zip(a, b)], dtype=np.uint8)),
+    predicates: list[tuple[str, np.ndarray]] = [
+        ("gt", np.array([x > z for x, z in zip(a, b, strict=True)], dtype=np.uint8)),
+        ("ge", np.array([x >= z for x, z in zip(a, b, strict=True)], dtype=np.uint8)),
+        ("lt", np.array([x < z for x, z in zip(a, b, strict=True)], dtype=np.uint8)),
+        ("le", np.array([x <= z for x, z in zip(a, b, strict=True)], dtype=np.uint8)),
+        ("eq", np.array([x == z for x, z in zip(a, b, strict=True)], dtype=np.uint8)),
     ]
     del av, bv
     for name, predicted in predicates:
@@ -143,7 +143,7 @@ def match_comparator(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
 
 def match_multiplier_bit(
     X: np.ndarray, y: np.ndarray, max_width: int = 16
-) -> Optional[Match]:
+) -> Match | None:
     """Multiplier output bits; circuit only built for small widths."""
     words = _words(X)
     if words is None:
@@ -152,7 +152,7 @@ def match_multiplier_bit(
     k = X.shape[1] // 2
     if k > max_width:
         return None
-    products = [av * bv for av, bv in zip(a, b)]
+    products = [av * bv for av, bv in zip(a, b, strict=True)]
     for bit in range(2 * k - 1, -1, -1):
         predicted = np.array([(p >> bit) & 1 for p in products], dtype=np.uint8)
         if _check_predicate(predicted, y):
@@ -164,11 +164,11 @@ def match_multiplier_bit(
     return None
 
 
-def match_wordwise(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
+def match_wordwise(X: np.ndarray, y: np.ndarray) -> Match | None:
     """Bitwise-reduction patterns: XOR/OR/AND over all inputs of one of
     the two halves, or of the whole vector."""
     n = X.shape[1]
-    candidates: List[Tuple[str, np.ndarray, List[int]]] = []
+    candidates: list[tuple[str, np.ndarray, list[int]]] = []
     whole = list(range(n))
     candidates.append(("xor_all", X.sum(axis=1) % 2, whole))
     candidates.append(("or_all", (X.sum(axis=1) > 0).astype(np.uint8), whole))
@@ -191,7 +191,7 @@ def match_wordwise(X: np.ndarray, y: np.ndarray) -> Optional[Match]:
     return None
 
 
-_MATCHERS: List[Callable[[np.ndarray, np.ndarray], Optional[Match]]] = [
+_MATCHERS: list[Callable[[np.ndarray, np.ndarray], Match | None]] = [
     match_wordwise,
     match_symmetric,
     match_adder_bit,
@@ -202,7 +202,7 @@ _MATCHERS: List[Callable[[np.ndarray, np.ndarray], Optional[Match]]] = [
 
 def match_standard_function(
     X: np.ndarray, y: np.ndarray, max_nodes: int = 5000
-) -> Optional[Match]:
+) -> Match | None:
     """Try every matcher; return the first exact match whose circuit
     fits the node budget."""
     X = np.asarray(X, dtype=np.uint8)

@@ -11,8 +11,6 @@ inconsistencies.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.aig.aig import AIG
@@ -24,11 +22,11 @@ from repro.synth.from_tree import tree_output_lit
 class PopcountTreeClassifier:
     """Decision tree over the binary digits of the input popcount."""
 
-    def __init__(self, max_depth: Optional[int] = 6):
+    def __init__(self, max_depth: int | None = 6):
         self.max_depth = max_depth
-        self.tree: Optional[DecisionTree] = None
-        self.n_inputs: Optional[int] = None
-        self._count_bits: Optional[int] = None
+        self.tree: DecisionTree | None = None
+        self.n_inputs: int | None = None
+        self._count_bits: int | None = None
 
     def _features(self, X: np.ndarray) -> np.ndarray:
         counts = np.asarray(X, dtype=np.uint8).sum(axis=1).astype(np.int64)

@@ -11,7 +11,6 @@ emitted netlist against the source model.
 from __future__ import annotations
 
 import re
-from typing import Dict, List
 
 from repro.aig.aig import AIG, lit_var
 from repro.ml.decision_tree import DecisionTree
@@ -59,7 +58,7 @@ def tree_to_verilog(tree: DecisionTree, module_name: str = "dt") -> str:
     lines += [f"  input  x{i}," for i in range(tree.n_inputs)]
     lines.append("  output y")
     lines.append(");")
-    exprs: Dict[int, str] = {}
+    exprs: dict[int, str] = {}
 
     def rec(node_id: int) -> str:
         if node_id in exprs:
@@ -96,13 +95,13 @@ class VerilogEvaluator:
     _ASSIGN = re.compile(r"assign\s+(\w+)\s*=\s*(.+);")
 
     def __init__(self, source: str):
-        self.inputs: List[str] = re.findall(r"input\s+(\w+)", source)
-        self.outputs: List[str] = re.findall(r"output\s+(\w+)", source)
+        self.inputs: list[str] = re.findall(r"input\s+(\w+)", source)
+        self.outputs: list[str] = re.findall(r"output\s+(\w+)", source)
         self.assigns = []
         for target, expr in self._ASSIGN.findall(source):
             self.assigns.append((target, expr.strip()))
 
-    def _term(self, token: str, env: Dict[str, int]) -> int:
+    def _term(self, token: str, env: dict[str, int]) -> int:
         token = token.strip()
         if token == "1'b0":
             return 0
@@ -112,7 +111,7 @@ class VerilogEvaluator:
             return 1 - self._term(token[1:], env)
         return env[token]
 
-    def evaluate(self, input_values: Dict[str, int]) -> Dict[str, int]:
+    def evaluate(self, input_values: dict[str, int]) -> dict[str, int]:
         env = dict(input_values)
         for target, expr in self.assigns:
             if "?" in expr:

@@ -8,8 +8,8 @@ specified functions, and an exact Quine-McCluskey minimizer used as a
 reference in tests and ablations.
 """
 
-from repro.twolevel.cube import Cube
 from repro.twolevel.cover import Cover, cover_from_samples
+from repro.twolevel.cube import Cube
 from repro.twolevel.espresso import espresso
 from repro.twolevel.pla import PLA, read_pla, write_pla
 from repro.twolevel.quine import quine_mccluskey

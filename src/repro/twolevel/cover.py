@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -15,7 +15,7 @@ class Cover:
 
     def __init__(self, n_inputs: int, cubes: Iterable[Cube] = ()):
         self.n_inputs = n_inputs
-        self.cubes: List[Cube] = list(cubes)
+        self.cubes: list[Cube] = list(cubes)
 
     def __len__(self) -> int:
         return len(self.cubes)
@@ -65,7 +65,7 @@ class Cover:
 
     def remove_contained(self) -> "Cover":
         """Drop cubes single-cube-contained in another cube."""
-        kept: List[Cube] = []
+        kept: list[Cube] = []
         # Larger cubes first so containment checks see the big ones.
         order = sorted(self.cubes, key=lambda c: c.num_literals())
         for cube in order:
@@ -73,7 +73,7 @@ class Cover:
                 kept.append(cube)
         return Cover(self.n_inputs, kept)
 
-    def to_strings(self) -> List[str]:
+    def to_strings(self) -> list[str]:
         return [c.to_string(self.n_inputs) for c in self.cubes]
 
     def __repr__(self) -> str:
@@ -82,7 +82,7 @@ class Cover:
 
 def cover_from_samples(
     samples: np.ndarray, labels: np.ndarray
-) -> Tuple[List[int], List[int], int]:
+) -> tuple[list[int], list[int], int]:
     """Split samples into deduplicated ON-set and OFF-set minterm lists.
 
     Contradictory duplicates (same input pattern, both labels observed)
@@ -93,7 +93,7 @@ def cover_from_samples(
     labels = np.asarray(labels).ravel()
     n_inputs = samples.shape[1]
     votes = {}
-    for minterm, y in zip(rows_to_ints(samples), labels):
+    for minterm, y in zip(rows_to_ints(samples), labels, strict=True):
         pos, neg = votes.get(minterm, (0, 0))
         if y:
             votes[minterm] = (pos + 1, neg)

@@ -11,8 +11,8 @@ inputs on the CIFAR benchmarks).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, Tuple
 
 
 @dataclass(frozen=True)
@@ -86,7 +86,7 @@ class Cube:
         common = self.mask & other.mask
         return (self.value ^ other.value) & common == 0
 
-    def literals(self) -> Iterator[Tuple[int, int]]:
+    def literals(self) -> Iterator[tuple[int, int]]:
         """Yield ``(var, value)`` pairs of the bound positions."""
         mask = self.mask
         while mask:

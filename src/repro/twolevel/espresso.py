@@ -29,7 +29,7 @@ expanded away iff no OFF-row's disagreements would drop to zero.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro.twolevel.cover import Cover
 from repro.twolevel.cube import Cube
 from repro.utils.bitops import int_to_bits
 
-MintermsOrMatrix = Union[Sequence[int], np.ndarray]
+MintermsOrMatrix = Sequence[int] | np.ndarray
 
 
 def _as_matrix(minterms: MintermsOrMatrix, n_inputs: int) -> np.ndarray:
@@ -53,8 +53,8 @@ def _expand_all(
     cubes_mask: np.ndarray,
     cubes_val: np.ndarray,
     off: np.ndarray,
-    on: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    on: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """EXPAND every cube against the OFF-set matrix.
 
     ``cubes_mask``/``cubes_val`` are (n_cubes, n_inputs) uint8 matrices;
@@ -72,7 +72,7 @@ def _expand_all(
     out_val = cubes_val.copy()
     aligned = on is not None and on.shape[0] == n_cubes
     covered = np.zeros(n_cubes, dtype=bool) if aligned else None
-    kept_rows: List[int] = []
+    kept_rows: list[int] = []
     for ci in range(n_cubes):
         if aligned and covered[ci]:
             continue
@@ -134,11 +134,11 @@ def _coverage(
 
 def _drop_contained(
     cubes_mask: np.ndarray, cubes_val: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Remove duplicate and single-cube-contained cubes."""
     n = cubes_mask.shape[0]
     order = np.argsort(cubes_mask.sum(axis=1), kind="stable")
-    kept: List[int] = []
+    kept: list[int] = []
     for i in order:
         contained = False
         for j in kept:
@@ -177,7 +177,7 @@ def _reduce_all(
     cubes_val: np.ndarray,
     coverage: np.ndarray,
     on: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """REDUCE: shrink each cube onto the ON-rows only it covers."""
     counts = coverage.sum(axis=0)
     out_mask = cubes_mask.copy()
@@ -195,7 +195,7 @@ def _reduce_all(
 
 def _to_cover(cubes_mask, cubes_val, n_inputs) -> Cover:
     cubes = []
-    for mask_row, val_row in zip(cubes_mask, cubes_val):
+    for mask_row, val_row in zip(cubes_mask, cubes_val, strict=True):
         mask = 0
         value = 0
         for i in np.nonzero(mask_row)[0]:

@@ -10,14 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.twolevel.cover import Cover
 from repro.twolevel.cube import Cube
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 @dataclass
@@ -26,16 +25,16 @@ class PLA:
 
     n_inputs: int
     n_outputs: int = 1
-    input_labels: Optional[List[str]] = None
-    output_labels: Optional[List[str]] = None
-    rows: List[Tuple[Cube, str]] = field(default_factory=list)
+    input_labels: list[str] | None = None
+    output_labels: list[str] | None = None
+    rows: list[tuple[Cube, str]] = field(default_factory=list)
 
     def add_row(self, cube: Cube, outputs: str) -> None:
         if len(outputs) != self.n_outputs:
             raise ValueError("output column count mismatch")
         self.rows.append((cube, outputs))
 
-    def to_samples(self) -> Tuple[np.ndarray, np.ndarray]:
+    def to_samples(self) -> tuple[np.ndarray, np.ndarray]:
         """Expand to ``(X, y)`` sample matrices.
 
         Requires every row to be a full minterm (the contest data is),
@@ -67,7 +66,7 @@ class PLA:
         X = np.asarray(X, dtype=np.uint8)
         y = np.asarray(y).ravel()
         pla = PLA(n_inputs=X.shape[1], n_outputs=1)
-        for row, label in zip(X, y):
+        for row, label in zip(X, y, strict=True):
             value = 0
             for i, bit in enumerate(row):
                 if bit:
@@ -107,7 +106,7 @@ def read_pla(path: PathLike) -> PLA:
     n_outputs = 1
     input_labels = None
     output_labels = None
-    rows: List[Tuple[Cube, str]] = []
+    rows: list[tuple[Cube, str]] = []
     for raw in Path(path).read_text(encoding="ascii").splitlines():
         line = raw.split("#", 1)[0].strip()
         if not line:

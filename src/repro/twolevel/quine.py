@@ -7,7 +7,7 @@ which bounds how far the heuristic is from optimal.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence
+from collections.abc import Sequence
 
 from repro.twolevel.cover import Cover
 from repro.twolevel.cube import Cube
@@ -15,11 +15,11 @@ from repro.twolevel.cube import Cube
 
 def prime_implicants(
     onset: Sequence[int], dcset: Sequence[int], n_inputs: int
-) -> List[Cube]:
+) -> list[Cube]:
     """All prime implicants of ``onset`` given don't cares ``dcset``."""
     care = set(onset)
     terms = {Cube.from_minterm(m, n_inputs) for m in set(onset) | set(dcset)}
-    primes: List[Cube] = []
+    primes: list[Cube] = []
     while terms:
         merged_away = set()
         next_terms = set()
@@ -48,11 +48,11 @@ def prime_implicants(
 
 
 def _greedy_cover(
-    universe: FrozenSet[int], sets: List[FrozenSet[int]]
-) -> List[int]:
+    universe: frozenset[int], sets: list[frozenset[int]]
+) -> list[int]:
     """Greedy set cover (used to seed and to cap the exact search)."""
     remaining = set(universe)
-    chosen: List[int] = []
+    chosen: list[int] = []
     while remaining:
         gain, pick = max(
             (
@@ -69,10 +69,10 @@ def _greedy_cover(
 
 
 def _min_cover(
-    universe: FrozenSet[int],
-    sets: List[FrozenSet[int]],
+    universe: frozenset[int],
+    sets: list[frozenset[int]],
     max_steps: int = 200_000,
-) -> List[int]:
+) -> list[int]:
     """Minimum set cover by branch and bound.
 
     The search is exact unless the ``max_steps`` node budget is
@@ -80,10 +80,10 @@ def _min_cover(
     greedy one) is returned — keeping worst-case runtime bounded on
     adversarial instances while staying optimal on typical ones.
     """
-    best: List[List[int]] = [_greedy_cover(universe, sets)]
+    best: list[list[int]] = [_greedy_cover(universe, sets)]
     steps = [0]
 
-    def search(remaining: FrozenSet[int], chosen: List[int]) -> None:
+    def search(remaining: frozenset[int], chosen: list[int]) -> None:
         if steps[0] > max_steps:
             return
         steps[0] += 1

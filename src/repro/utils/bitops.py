@@ -85,7 +85,7 @@ def int_to_bits(value: int, width: int) -> np.ndarray:
     return np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
 
 
-def rows_to_ints(matrix: np.ndarray) -> list:
+def rows_to_ints(matrix: np.ndarray) -> list[int]:
     """Convert each row of a 0/1 matrix to a Python int (LSB = column 0).
 
     Used by the arithmetic benchmark generators, which compute e.g.

@@ -15,13 +15,15 @@ import numpy as np
 MASTER_SEED = 0x1415_2020  # IWLS 2020
 
 
-def derive_seed(*parts) -> int:
+def derive_seed(*parts: object) -> int:
     """Derive a 63-bit seed from a tuple of hashable parts."""
     text = "|".join(str(p) for p in parts)
     digest = hashlib.sha256(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
 
 
-def rng_for(*parts, master_seed: int = MASTER_SEED) -> np.random.Generator:
+def rng_for(
+    *parts: object, master_seed: int = MASTER_SEED
+) -> np.random.Generator:
     """A ``numpy.random.Generator`` seeded from a named stream."""
     return np.random.default_rng(derive_seed(master_seed, *parts))

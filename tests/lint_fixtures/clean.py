@@ -1,0 +1,17 @@
+"""Fixture: canonical patterns every rule accepts."""
+
+import json
+
+import numpy as np
+
+
+def dump(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def labels(items):
+    return [str(item) for item in sorted(set(items))]

@@ -1,0 +1,8 @@
+"""Fixture: REP101 — call into module-level RNG state."""
+
+import random
+
+
+def shuffle_rows(rows):
+    random.shuffle(rows)
+    return rows

@@ -1,0 +1,7 @@
+"""Fixture: REP102 — RNG constructed without a seed."""
+
+import numpy as np
+
+
+def make_rng():
+    return np.random.default_rng()

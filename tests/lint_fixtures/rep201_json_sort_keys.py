@@ -1,0 +1,7 @@
+"""Fixture: REP201 — json.dumps without sort_keys=True."""
+
+import json
+
+
+def dump(payload):
+    return json.dumps(payload)

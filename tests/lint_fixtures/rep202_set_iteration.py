@@ -1,0 +1,5 @@
+"""Fixture: REP202 — set iterated in an order-sensitive position."""
+
+
+def labels():
+    return [str(item) for item in {"b", "a", "c"}]

@@ -1,0 +1,7 @@
+"""Fixture: REP301 — wall-clock read inside a worker function."""
+
+import time
+
+
+def _worker_step(spec):
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: REP302 — ambient environment read inside a worker."""
+
+import os
+
+
+def run_worker(spec):
+    return os.environ.get("REPRO_HOME")

@@ -1,0 +1,7 @@
+"""Fixture: REP303 — module global mutated inside a worker."""
+
+_CACHE = {}
+
+
+def _worker_fill(key, value):
+    _CACHE[key] = value

@@ -1,0 +1,6 @@
+"""Fixture: REP401 — mutable default argument."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc

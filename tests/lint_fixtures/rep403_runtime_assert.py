@@ -1,0 +1,6 @@
+"""Fixture: REP403 — assert used for runtime validation."""
+
+
+def checked_add(a, b):
+    assert a >= 0, "a must be non-negative"
+    return a + b

@@ -1,0 +1,7 @@
+"""Fixture: a REP201 violation silenced by an inline suppression."""
+
+import json
+
+
+def dump(payload):
+    return json.dumps(payload)  # repro-lint: ignore[REP201]

@@ -45,7 +45,7 @@ class TestAdders:
         X = samples(2 * k)
         a, b = _word_values(X, k)
         out = aig.simulate(X)
-        for row, av, bv in zip(out, a, b):
+        for row, av, bv in zip(out, a, b, strict=True):
             got = sum(int(v) << i for i, v in enumerate(row))
             assert got == av + bv
 
@@ -58,7 +58,7 @@ class TestAdders:
         X = samples(2 * k)
         a, b = _word_values(X, k)
         out = aig.simulate(X)[:, 0]
-        for got, av, bv in zip(out, a, b):
+        for got, av, bv in zip(out, a, b, strict=True):
             assert got == (1 if av < bv else 0)
 
 
@@ -72,7 +72,7 @@ class TestComparators:
         X = samples(2 * k)
         a, b = _word_values(X, k)
         out = aig.simulate(X)
-        for row, av, bv in zip(out, a, b):
+        for row, av, bv in zip(out, a, b, strict=True):
             assert row[0] == (1 if av > bv else 0)
             assert row[1] == (1 if av < bv else 0)
 
@@ -86,7 +86,7 @@ class TestComparators:
         X[:20, k:] = X[:20, :k]
         a, b = _word_values(X, k)
         out = aig.simulate(X)[:, 0]
-        for got, av, bv in zip(out, a, b):
+        for got, av, bv in zip(out, a, b, strict=True):
             assert got == (1 if av == bv else 0)
 
 
@@ -100,7 +100,7 @@ class TestMultiplier:
         X = samples(2 * k, n=100)
         a, b = _word_values(X, k)
         out = aig.simulate(X)
-        for row, av, bv in zip(out, a, b):
+        for row, av, bv in zip(out, a, b, strict=True):
             got = sum(int(v) << i for i, v in enumerate(row))
             assert got == av * bv
 
@@ -113,7 +113,7 @@ class TestCountersAndSymmetric:
             aig.set_output(bit)
         X = samples(n)
         out = aig.simulate(X)
-        for row, x in zip(out, X):
+        for row, x in zip(out, X, strict=True):
             got = sum(int(v) << i for i, v in enumerate(row))
             assert got == int(x.sum())
 
@@ -135,7 +135,7 @@ class TestCountersAndSymmetric:
         )
         X = samples(n)
         out = aig.simulate(X)[:, 0]
-        for got, x in zip(out, X):
+        for got, x in zip(out, X, strict=True):
             assert got == (1 if signature[int(x.sum())] == "1" else 0)
 
     def test_symmetric_rejects_bad_signature(self):

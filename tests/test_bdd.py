@@ -132,7 +132,7 @@ class TestDontCareMinimization:
         a = [sum(int(r[i]) << i for i in range(k)) for r in X]
         b = [sum(int(r[k + i]) << i for i in range(k)) for r in X]
         y = np.array(
-            [((av + bv) >> (k - 1)) & 1 for av, bv in zip(a, b)], np.uint8
+            [((av + bv) >> (k - 1)) & 1 for av, bv in zip(a, b, strict=True)], np.uint8
         )
         order = []
         for j in reversed(range(k)):

@@ -73,5 +73,5 @@ class TestIntConversions:
         rng = np.random.default_rng(4)
         X = rng.integers(0, 2, size=(20, 300)).astype(np.uint8)
         values = rows_to_ints(X)
-        for row, v in zip(X, values):
+        for row, v in zip(X, values, strict=True):
             assert v == sum(int(b) << i for i, b in enumerate(row))

@@ -3,9 +3,9 @@
 import numpy as np
 
 from repro.cgp import (
+    XAIG_FUNCTIONS,
     CGPEvolver,
     CGPGenome,
-    XAIG_FUNCTIONS,
     evolve_from_aig,
 )
 from tests.conftest import random_aig

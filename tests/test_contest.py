@@ -3,14 +3,16 @@
 import numpy as np
 import pytest
 
+from repro.aig.aig import AIG, CONST1
 from repro.contest import (
+    Solution,
     build_suite,
     default_small_indices,
     evaluate_solution,
     make_problem,
-    Solution,
 )
 from repro.contest.functions import (
+    SYMMETRIC_SIGNATURES,
     adder_bit,
     comparator,
     cordic_sign,
@@ -20,7 +22,6 @@ from repro.contest.functions import (
     sqrt_bit,
     symmetric16,
     t481_like,
-    SYMMETRIC_SIGNATURES,
 )
 from repro.contest.imagelike import (
     GROUP_COMPARISONS,
@@ -29,7 +30,6 @@ from repro.contest.imagelike import (
     mnist_like_model,
 )
 from repro.contest.randomlogic import random_cone_function
-from repro.aig.aig import AIG, CONST1
 
 
 class TestSuiteStructure:
@@ -82,7 +82,7 @@ class TestGroundTruthFunctions:
         X = rng.integers(0, 2, size=(100, 8)).astype(np.uint8)
         a = [sum(int(r[i]) << i for i in range(4)) for r in X]
         b = [sum(int(r[4 + i]) << i for i in range(4)) for r in X]
-        want = [(x + z) >> 4 & 1 for x, z in zip(a, b)]
+        want = [(x + z) >> 4 & 1 for x, z in zip(a, b, strict=True)]
         assert fn(X).tolist() == want
 
     def test_divider_by_zero_convention(self):
@@ -102,14 +102,14 @@ class TestGroundTruthFunctions:
         X = rng.integers(0, 2, size=(64, 6)).astype(np.uint8)
         a = [sum(int(r[i]) << i for i in range(3)) for r in X]
         b = [sum(int(r[3 + i]) << i for i in range(3)) for r in X]
-        assert fn(X).tolist() == [((x * z) >> 5) & 1 for x, z in zip(a, b)]
+        assert fn(X).tolist() == [((x * z) >> 5) & 1 for x, z in zip(a, b, strict=True)]
 
     def test_comparator(self, rng):
         fn = comparator(5)
         X = rng.integers(0, 2, size=(80, 10)).astype(np.uint8)
         a = [sum(int(r[i]) << i for i in range(5)) for r in X]
         b = [sum(int(r[5 + i]) << i for i in range(5)) for r in X]
-        assert fn(X).tolist() == [int(x > z) for x, z in zip(a, b)]
+        assert fn(X).tolist() == [int(x > z) for x, z in zip(a, b, strict=True)]
 
     def test_sqrt_lsb(self):
         import math

@@ -40,9 +40,9 @@ class TestDataset:
     def test_split_is_a_partition(self, rng):
         data = self._make(rng, n=200)
         first, second = data.split_stratified(0.5, rng)
-        all_rows = {tuple(r) + (int(lb),) for r, lb in zip(data.X, data.y)}
-        got = {tuple(r) + (int(lb),) for r, lb in zip(first.X, first.y)}
-        got |= {tuple(r) + (int(lb),) for r, lb in zip(second.X, second.y)}
+        all_rows = {tuple(r) + (int(lb),) for r, lb in zip(data.X, data.y, strict=True)}
+        got = {tuple(r) + (int(lb),) for r, lb in zip(first.X, first.y, strict=True)}
+        got |= {tuple(r) + (int(lb),) for r, lb in zip(second.X, second.y, strict=True)}
         assert got <= all_rows  # duplicates collapse, none invented
 
     def test_pla_roundtrip(self, rng):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.aig.aig import AIG, CONST0, CONST1, lit_not
-from repro.aig.aiger import read_aag, write_aag, write_aiger, read_aiger
+from repro.aig.aiger import read_aag, read_aiger, write_aag, write_aiger
 from repro.aig.approx import approximate_to_size
 from repro.aig.build import ripple_adder
 from repro.aig.optimize import balance, compress, rewrite
@@ -13,8 +13,8 @@ from repro.ml.dataset import Dataset
 from repro.ml.decision_tree import DecisionTree
 from repro.ml.forest import RandomForest
 from repro.ml.lutnet import LUTNetwork
-from repro.twolevel.espresso import espresso
 from repro.twolevel.cube import Cube
+from repro.twolevel.espresso import espresso
 
 
 class TestDegenerateCircuits:

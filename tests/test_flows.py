@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.contest import build_suite, evaluate_solution, make_problem
-from repro.flows import TEAM_FLOW_NAMES, TECHNIQUES, TECHNIQUE_NAMES, get_flow
+from repro.flows import TEAM_FLOW_NAMES, TECHNIQUE_NAMES, TECHNIQUES, get_flow
 from repro.flows.portfolio import run as portfolio_run
 
 

@@ -23,7 +23,7 @@ class TestAdder:
     def test_msb_recognized_and_exact(self, rng):
         k = 12
         X, a, b = _words(rng, k)
-        y = np.array([((x + z) >> k) & 1 for x, z in zip(a, b)], np.uint8)
+        y = np.array([((x + z) >> k) & 1 for x, z in zip(a, b, strict=True)], np.uint8)
         m = match_adder_bit(X, y)
         assert m is not None
         assert "adder" in m.name
@@ -33,7 +33,7 @@ class TestAdder:
         k = 8
         X, a, b = _words(rng, k)
         y = np.array(
-            [((x + z) >> (k - 1)) & 1 for x, z in zip(a, b)], np.uint8
+            [((x + z) >> (k - 1)) & 1 for x, z in zip(a, b, strict=True)], np.uint8
         )
         m = match_adder_bit(X, y)
         assert m is not None and f"bit{k-1}" in m.name
@@ -59,7 +59,7 @@ class TestComparator:
     def test_all_predicates(self, rng, op, fn):
         k = 10
         X, a, b = _words(rng, k)
-        y = np.array([int(fn(x, z)) for x, z in zip(a, b)], np.uint8)
+        y = np.array([int(fn(x, z)) for x, z in zip(a, b, strict=True)], np.uint8)
         m = match_comparator(X, y)
         assert m is not None
         assert np.array_equal(m.aig.simulate(X)[:, 0], y)
@@ -70,7 +70,7 @@ class TestComparator:
         X[:50, k:] = X[:50, :k]  # ensure equal pairs exist
         a = rows_to_ints(X[:, :k])
         b = rows_to_ints(X[:, k:])
-        y = np.array([int(x == z) for x, z in zip(a, b)], np.uint8)
+        y = np.array([int(x == z) for x, z in zip(a, b, strict=True)], np.uint8)
         m = match_comparator(X, y)
         assert m is not None and "eq" in m.name
 
@@ -106,7 +106,7 @@ class TestMultiplier:
         k = 6
         X, a, b = _words(rng, k)
         y = np.array(
-            [((x * z) >> (k - 1)) & 1 for x, z in zip(a, b)], np.uint8
+            [((x * z) >> (k - 1)) & 1 for x, z in zip(a, b, strict=True)], np.uint8
         )
         m = match_multiplier_bit(X, y)
         assert m is not None
@@ -116,7 +116,7 @@ class TestMultiplier:
         k = 32
         X, a, b = _words(rng, k, n=100)
         y = np.array(
-            [((x * z) >> (k - 1)) & 1 for x, z in zip(a, b)], np.uint8
+            [((x * z) >> (k - 1)) & 1 for x, z in zip(a, b, strict=True)], np.uint8
         )
         assert match_multiplier_bit(X, y, max_width=16) is None
 
@@ -142,5 +142,5 @@ class TestDispatcher:
     def test_node_cap_respected(self, rng):
         k = 12
         X, a, b = _words(rng, k)
-        y = np.array([((x + z) >> k) & 1 for x, z in zip(a, b)], np.uint8)
+        y = np.array([((x + z) >> k) & 1 for x, z in zip(a, b, strict=True)], np.uint8)
         assert match_standard_function(X, y, max_nodes=3) is None

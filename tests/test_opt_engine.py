@@ -245,7 +245,7 @@ class TestTraverse:
                 rnd.randrange(1 + aig.n_inputs, aig.num_vars)
                 for _ in range(5)
             ]
-            for v1, v2 in zip(vars_, vars_[1:]):
+            for v1, v2 in zip(vars_, vars_[1:], strict=False):
                 cut = bounded_cut(aig, (v1, v2), max_leaves=16, max_visit=16)
                 if cut is None:
                     continue

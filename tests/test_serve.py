@@ -254,7 +254,7 @@ def test_simulate_rows_grouped_matches_per_block(model_store):
     ]
     grouped = simulate_rows_grouped(circuit.compiled, blocks)
     assert len(grouped) == len(blocks)
-    for block, out in zip(blocks, grouped):
+    for block, out in zip(blocks, grouped, strict=True):
         assert np.array_equal(out, circuit.predict(block))
     assert simulate_rows_grouped(circuit.compiled, []) == []
     one = simulate_rows_grouped(circuit.compiled, [blocks[2][0]])  # 1-d

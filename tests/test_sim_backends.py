@@ -15,8 +15,7 @@ import random
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.aig.aig import AIG, CONST0, CONST1
 from repro.sim import (
@@ -26,6 +25,7 @@ from repro.sim import (
     CompiledAIG,
     SimProgram,
     available_backends,
+    backend as backend_mod,
     backend_names,
     compile_aig,
     get_backend,
@@ -35,7 +35,6 @@ from repro.sim import (
     simulate_datasets,
     simulate_rows_grouped,
 )
-from repro.sim import backend as backend_mod
 from repro.sim.batch import output_predictions
 from repro.sim.program import _levelize
 
@@ -127,7 +126,7 @@ class TestDifferential:
         ]
         ref = simulate_datasets(aig, mats, backend="numpy")
         got = simulate_datasets(aig, mats, backend=name)
-        for r, g in zip(ref, got):
+        for r, g in zip(ref, got, strict=True):
             assert g.tobytes() == r.tobytes()
 
     @pytest.mark.parametrize("name", BACKENDS)
@@ -140,11 +139,11 @@ class TestDifferential:
         ]
         ref = simulate_circuits(aigs, X, backend="numpy")
         got = simulate_circuits(aigs, X, backend=name)
-        for r, g in zip(ref, got):
+        for r, g in zip(ref, got, strict=True):
             assert g.tobytes() == r.tobytes()
         ref_p = output_predictions(aigs, X, backend="numpy")
         got_p = output_predictions(aigs, X, backend=name)
-        for r, g in zip(ref_p, got_p):
+        for r, g in zip(ref_p, got_p, strict=True):
             assert g.tobytes() == r.tobytes()
 
     @pytest.mark.parametrize("name", BACKENDS)
@@ -158,7 +157,7 @@ class TestDifferential:
         compiled = compile_aig(aig, backend="numpy")
         ref = simulate_rows_grouped(compiled, blocks)
         got = simulate_rows_grouped(compiled, blocks, backend=name)
-        for r, g in zip(ref, got):
+        for r, g in zip(ref, got, strict=True):
             assert g.tobytes() == r.tobytes()
 
     def test_results_are_owned_copies(self):
@@ -220,7 +219,7 @@ class TestLevelizeCutover:
         lv, stats = _levelize_stats(aig)
         assert stats["fallback"] is False
         scalar = [0] * (1 + aig.n_inputs)
-        for f0, f1 in zip(aig._fanin0, aig._fanin1):
+        for f0, f1 in zip(aig._fanin0, aig._fanin1, strict=True):
             scalar.append(1 + max(scalar[f0 >> 1], scalar[f1 >> 1]))
         assert lv.tolist() == scalar
 

@@ -10,8 +10,7 @@ import random
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.aig.aig import AIG, CONST0, CONST1, lit_var
 from repro.contest.evaluate import evaluate_solution, evaluate_solutions
@@ -157,7 +156,7 @@ class TestBatch:
         ]
         batched = simulate_datasets(aig, mats)
         assert len(batched) == 3
-        for m, out in zip(mats, batched):
+        for m, out in zip(mats, batched, strict=True):
             assert np.array_equal(out, aig.simulate(m))
         assert simulate_datasets(aig, []) == []
 
@@ -167,10 +166,10 @@ class TestBatch:
         aigs = [build_random_aig(5, n, seed=n, n_outputs=1)
                 for n in (0, 10, 50)]
         batched = simulate_circuits(aigs, X)
-        for aig, out in zip(aigs, batched):
+        for aig, out in zip(aigs, batched, strict=True):
             assert np.array_equal(out, aig.simulate(X))
         preds = output_predictions(aigs, X)
-        for aig, p in zip(aigs, preds):
+        for aig, p in zip(aigs, preds, strict=True):
             assert np.array_equal(p, aig.simulate(X)[:, 0])
         assert simulate_circuits([], X) == []
 

@@ -62,7 +62,7 @@ class TestCover:
         )
         X = rng.integers(0, 2, size=(100, 10)).astype(np.uint8)
         fast = cover.evaluate(X)
-        for row, got in zip(X, fast):
+        for row, got in zip(X, fast, strict=True):
             m = sum(int(b) << i for i, b in enumerate(row))
             assert got == cover.evaluate_minterm(m)
 

@@ -24,7 +24,7 @@ class TestVerilog:
         evaluator = VerilogEvaluator(source)
         X = rng.integers(0, 2, size=(50, 5)).astype(np.uint8)
         sim = aig.simulate(X)
-        for row, want in zip(X, sim):
+        for row, want in zip(X, sim, strict=True):
             env = {f"x{i}": int(v) for i, v in enumerate(row)}
             out = evaluator.evaluate(env)
             assert out["y0"] == want[0]
@@ -45,7 +45,7 @@ class TestVerilog:
         tree = DecisionTree(max_depth=5).fit(X, y)
         evaluator = VerilogEvaluator(tree_to_verilog(tree))
         pred = tree.predict(X)
-        for row, want in zip(X[:100], pred[:100]):
+        for row, want in zip(X[:100], pred[:100], strict=True):
             env = {f"x{i}": int(v) for i, v in enumerate(row)}
             assert evaluator.evaluate(env)["y"] == want
 

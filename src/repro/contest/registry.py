@@ -38,7 +38,6 @@ Three layers:
 
 from __future__ import annotations
 
-import difflib
 import fnmatch
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Mapping
@@ -52,6 +51,7 @@ from repro.contest import functions as fns
 from repro.contest.problem import LearningProblem
 from repro.ml.dataset import Dataset
 from repro.utils.rng import rng_for
+from repro.utils.suggest import did_you_mean
 
 #: Sentinel: a family parameter with no default must be given.
 REQUIRED = object()
@@ -395,8 +395,7 @@ class ProblemRegistry:
 
     def _unknown_message(self, name: str) -> str:
         pool = list(self._named) + list(self.families)
-        near = difflib.get_close_matches(name, pool, n=5, cutoff=0.5)
-        hint = f"; did you mean {', '.join(near)}?" if near else ""
+        hint = did_you_mean(name, pool)
         return (
             f"unknown benchmark {name!r}: not a registered problem, "
             f"family spec or glob (families: "

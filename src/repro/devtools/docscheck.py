@@ -1,0 +1,126 @@
+"""Documentation checker: link integrity + CLI coverage.
+
+Run as ``python -m repro.devtools.docscheck`` (CI's docs job):
+
+1. **Link check** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file or directory that exists
+   (external ``http(s)``/``mailto`` links and pure ``#anchor``
+   fragments are skipped; no network access, so the check is
+   deterministic and offline).
+2. **CLI coverage** — every subcommand ``repro --help`` advertises
+   must be mentioned somewhere in the checked documents, so a new CLI
+   verb cannot land undocumented.
+
+Exit status 0 when clean, 1 with findings listed one per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — good enough for this repo's plain markdown;
+#: images (``![...](...)``) match too, which is what we want.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    """README.md plus every markdown file under docs/, sorted."""
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_links(doc: Path, root: Path) -> list[str]:
+    """Broken relative links in one document."""
+    problems = []
+    text = doc.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.is_relative_to(root):
+            # GitHub web-relative links (badges, /actions/ pages)
+            # escape the checkout; there is nothing on disk to verify.
+            continue
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{doc.relative_to(root)}:{line}: broken link "
+                f"{target!r} ({path_part} does not exist)"
+            )
+    return problems
+
+
+def cli_subcommands() -> list[str]:
+    """The subcommand names ``repro --help`` lists."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    return []
+
+
+def check_cli_coverage(docs: list[Path]) -> list[str]:
+    """CLI subcommands no checked document mentions."""
+    corpus = "\n".join(d.read_text(encoding="utf-8") for d in docs)
+    problems = []
+    for command in cli_subcommands():
+        pattern = re.compile(
+            rf"repro\s+{re.escape(command)}\b|`{re.escape(command)}`"
+        )
+        if not pattern.search(corpus):
+            problems.append(
+                f"CLI subcommand 'repro {command}' is not mentioned in "
+                f"README.md or docs/ — document it"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.docscheck",
+        description=__doc__,
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root holding README.md and docs/ "
+             "(default: current directory)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    docs = iter_doc_files(root)
+    if not docs:
+        print(f"no README.md or docs/*.md under {root}", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    for doc in docs:
+        problems.extend(check_links(doc, root))
+    problems.extend(check_cli_coverage(docs))
+    for problem in problems:
+        print(problem)
+    print(
+        f"docscheck: {len(docs)} documents, "
+        f"{len(cli_subcommands())} CLI subcommands, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,14 @@ DEFAULT_RULE_PATH_SKIPS: dict[str, tuple[str, ...]] = {
     "REP403": ("benchmarks/", "tests/"),
 }
 
+#: Per-rule path fragments a rule is *confined to*: a rule listed
+#: here fires only on paths containing one of its fragments (rules
+#: not listed apply everywhere).  The docstring rule documents the
+#: library, not benches or tests.
+DEFAULT_RULE_PATH_ONLY: dict[str, tuple[str, ...]] = {
+    "REP501": ("src/repro/",),
+}
+
 
 def _worker_name_matches(name: str) -> bool:
     return name.startswith("_worker") or name.endswith("_worker")
@@ -65,6 +73,9 @@ class LintConfig:
     rng_exempt: tuple[str, ...] = DEFAULT_RNG_EXEMPT
     rule_path_skips: dict[str, tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_RULE_PATH_SKIPS)
+    )
+    rule_path_only: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_RULE_PATH_ONLY)
     )
 
     def is_worker_function(self, path: str, func_name: str) -> bool:
@@ -87,3 +98,12 @@ class LintConfig:
             fragment in normalized
             for fragment in self.rule_path_skips.get(rule_id, ())
         )
+
+    def rule_applies_to_path(self, rule_id: str, path: str) -> bool:
+        """False when the rule is confined elsewhere (see
+        ``rule_path_only``); rules without an entry apply everywhere."""
+        only = self.rule_path_only.get(rule_id)
+        if only is None:
+            return True
+        normalized = path.replace("\\", "/")
+        return any(fragment in normalized for fragment in only)

@@ -5,6 +5,10 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 
 from repro.devtools.lint.rules.base import ParsedModule, Rule
+from repro.devtools.lint.rules.docs import (
+    MODULE_DOCSTRING,
+    check_module_docstring,
+)
 from repro.devtools.lint.rules.hygiene import (
     BARE_EXCEPT,
     MUTABLE_DEFAULT,
@@ -47,6 +51,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MUTABLE_DEFAULT,
     BARE_EXCEPT,
     RUNTIME_ASSERT,
+    MODULE_DOCSTRING,
 )
 
 ALL_CHECKERS: tuple[Checker, ...] = (
@@ -57,6 +62,7 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     check_mutable_defaults,
     check_bare_except,
     check_runtime_assert,
+    check_module_docstring,
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

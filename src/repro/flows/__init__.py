@@ -52,6 +52,10 @@ from repro.flows.registry import (
     resolve_spec,
 )
 
+# The learned-scheduling flows live under repro.sched (they layer on
+# top of this package); importing the module registers them too.
+from repro.sched import flow as _sched_flow_module  # noqa: F401
+
 #: The ten team flows, in contest order (single source of truth: the
 #: portfolio's default member list).
 TEAM_FLOW_NAMES = _portfolio_module.DEFAULT_MEMBERS

@@ -1,4 +1,17 @@
-"""Shared plumbing for the team flows."""
+"""Shared plumbing for the team flows.
+
+The pieces every flow funnels through: the per-flow deterministic RNG
+stream (:func:`flow_rng` — named sub-streams of
+:func:`repro.utils.rng.rng_for`, so two flows on the same problem
+never share randomness), the legality funnel (:func:`finalize_aig` —
+cone-extract, optimize, approximate under the contest node cap) and
+candidate selection (:func:`pick_best` — accuracy first, used-node
+count as tie-break, over-cap candidates only as a last resort).
+
+Determinism contract: everything here is a pure function of its
+arguments plus the passed-in RNG stream; given the same ``(flow,
+problem, master_seed)`` the same bytes come out.
+"""
 
 from __future__ import annotations
 

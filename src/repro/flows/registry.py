@@ -21,6 +21,7 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 from repro.flows.api import Flow, check_flow_contract
+from repro.utils.suggest import did_you_mean
 
 __all__ = [
     "REGISTRY",
@@ -131,8 +132,10 @@ class FlowRegistry:
         try:
             return self._flows[name]
         except KeyError:
+            hint = did_you_mean(name, self._flows)
             raise KeyError(
-                f"unknown flow {name!r} (registered: {self.names()})"
+                f"unknown flow {name!r} (registered: "
+                f"{self.names()}){hint}"
             ) from None
 
     def names(self) -> list[str]:
@@ -183,9 +186,10 @@ class FlowRegistry:
                     ) from None
             else:
                 allowed = ["effort"] + sorted(flow.spec_params)
+                hint = did_you_mean(key, allowed)
                 raise ValueError(
                     f"flow {name!r} does not accept override {key!r} "
-                    f"(allowed: {allowed})"
+                    f"in spec {spec!r} (allowed: {allowed}){hint}"
                 )
         return FlowSpec(spec=spec, flow=flow, overrides=overrides)
 

@@ -1,4 +1,11 @@
-"""Accuracy and cross-validation utilities."""
+"""Accuracy and cross-validation utilities.
+
+The scoring vocabulary shared by every learner and the contest
+analysis layer: plain accuracy over 0/1 labels and k-fold
+cross-validation whose fold assignment is drawn from a caller-passed
+seeded generator — CV scores are deterministic for a given RNG
+stream, never dependent on global random state.
+"""
 
 from __future__ import annotations
 

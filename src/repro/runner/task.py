@@ -107,10 +107,12 @@ def resolve_flow(name: str) -> Callable:
         for part in qualname.split("."):
             obj = getattr(obj, part)
         return obj
+    from repro.utils.suggest import did_you_mean
+
     raise KeyError(
         f"unknown flow {name!r}: not a registered flow/spec "
         f"(registered: {REGISTRY.names()}) and not a "
-        f"'module:qualname' path"
+        f"'module:qualname' path{did_you_mean(head, REGISTRY.names())}"
     )
 
 

@@ -1,0 +1,79 @@
+"""Learned pass scheduling over the optimization engine.
+
+The opt engine (:mod:`repro.aig.opt`) exposes ``compress`` — one fixed
+pass recipe every flow runs regardless of circuit shape.  This package
+makes the schedule *learned*, in the DRiLLS/LOSTIN direction:
+
+:mod:`repro.sched.features`
+    A cheap structural feature extractor over AIGs (node/level counts,
+    fanout statistics, cut-size histogram, NPN-class distribution,
+    simulation signatures) — pure numpy, version-keyed caching like
+    the compile cache.
+
+:mod:`repro.sched.harvest`
+    A training-data harvester that replays runner stores
+    (:class:`~repro.runner.store.RunStore` records plus kept ``.aag``
+    solutions) into ``(features, pass, QoR-delta)`` tuples without
+    re-executing any flow.  Harvest output is byte-deterministic: the
+    same store contents produce the same canonical JSONL regardless of
+    the ``--jobs`` count that wrote the store.
+
+:mod:`repro.sched.policy`
+    Linear value models over the features: offline ridge training
+    (:func:`~repro.sched.policy.train_policy`), a pure-greedy
+    scheduler, and an epsilon-greedy contextual bandit that keeps
+    learning online.  All randomness flows through
+    :func:`repro.utils.rng.rng_for` streams so contest records stay
+    byte-reproducible.
+
+:mod:`repro.sched.scheduler`
+    The schedule loop: extract features, let the policy pick the next
+    pass (``balance`` / ``rewrite`` / ``refactor`` / ``fraig_lite``),
+    apply, repeat under a budget.  Never returns a graph larger than
+    its input; every pass is exact, so the result is functionally
+    identical to the input.
+
+:mod:`repro.sched.flow`
+    Registration as contest flows — ``learned`` (bandit) and
+    ``learned-greedy`` — so learned scheduling competes in the contest
+    grid, sharded runs, the nightly sweep and serving like any team.
+"""
+
+from repro.sched.features import FEATURE_NAMES, extract_features
+from repro.sched.harvest import (
+    PASS_NAMES,
+    harvest_circuit,
+    harvest_run_dirs,
+    harvest_store,
+    load_tuples,
+    tuples_to_jsonl,
+)
+from repro.sched.policy import (
+    EpsilonGreedyBandit,
+    GreedyPolicy,
+    LinearPolicy,
+    default_policy,
+    load_policy,
+    save_policy,
+    train_policy,
+)
+from repro.sched.scheduler import schedule_opt
+
+__all__ = [
+    "EpsilonGreedyBandit",
+    "FEATURE_NAMES",
+    "GreedyPolicy",
+    "LinearPolicy",
+    "PASS_NAMES",
+    "default_policy",
+    "extract_features",
+    "harvest_circuit",
+    "harvest_run_dirs",
+    "harvest_store",
+    "load_policy",
+    "load_tuples",
+    "save_policy",
+    "schedule_opt",
+    "train_policy",
+    "tuples_to_jsonl",
+]

@@ -1,0 +1,174 @@
+"""Harvest learned-scheduling training data from contest run stores.
+
+A contest run with ``--keep-solutions`` leaves behind exactly what
+pass-scheduling needs to learn from: real learned circuits, one per
+``(benchmark, flow, seed)`` task, stored as ``.aag`` text alongside
+canonical records.  The harvester replays those circuits — **without
+re-executing any flow** — by applying each optimization pass to each
+circuit and recording ``(features, pass, QoR delta)`` tuples, then
+rolling the circuit forward along the best pass (the greedy teacher)
+for a few horizon steps so the data covers mid-schedule graph shapes,
+not just flow outputs.
+
+Determinism contract: stored records and solutions are byte-identical
+regardless of the ``--jobs`` count that produced the store (the
+runner's golden property), harvesting iterates task keys in sorted
+order, every pass is deterministic (``fraig_lite`` derives its RNG
+from the graph shape), and tuples serialize with sorted keys and fixed
+separators — so :func:`tuples_to_jsonl` output is a pure function of
+the store's contents.  ``bench_sched.py`` pins this byte-for-byte
+across jobs counts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
+
+from functools import partial
+
+from repro.aig.aig import AIG
+from repro.aig.aiger import loads_aag
+from repro.aig.optimize import balance, fraig_lite, refactor, rewrite
+from repro.runner.store import PathLike, RunStore
+from repro.sched.features import extract_features
+
+#: The schedulable pass palette, in canonical (tie-break) order.  The
+#: first four are exactly ``compress``'s round; the ``*_deep``
+#: variants are moves ``compress`` never makes — bigger refactor cones
+#: and a stronger fraig proof — whose cost/benefit trade-off is
+#: precisely what the learned policy arbitrates.
+PASS_NAMES: tuple[str, ...] = (
+    "balance",
+    "rewrite",
+    "refactor",
+    "fraig_lite",
+    "refactor_deep",
+    "fraig_deep",
+)
+
+#: name -> deterministic pass callable (``fraig_lite`` self-seeds its
+#: RNG from the graph shape when none is passed).
+PASSES = {
+    "balance": balance,
+    "rewrite": rewrite,
+    "refactor": refactor,
+    "fraig_lite": fraig_lite,
+    "refactor_deep": partial(refactor, max_leaves=14),
+    "fraig_deep": partial(
+        fraig_lite, n_words=8, max_leaves=16, max_visit=128
+    ),
+}
+
+
+def apply_pass(name: str, aig: AIG) -> AIG:
+    """Apply one palette pass by name (defaults only, deterministic)."""
+    try:
+        fn = PASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pass {name!r} (palette: {list(PASS_NAMES)})"
+        ) from None
+    return fn(aig)
+
+
+def harvest_circuit(
+    aig: AIG,
+    key: str,
+    horizon: int = 3,
+) -> list[dict[str, Any]]:
+    """Tuples from one circuit: probe every pass at each horizon step.
+
+    At each step every palette pass is applied to the current graph
+    and its size/depth deltas recorded; the graph then advances along
+    the best pass by ``(size, depth)`` — the greedy teacher whose
+    choices the offline policy regresses toward.  Stops early when no
+    pass improves the graph.
+    """
+    aig = aig.extract_cone()
+    tuples: list[dict[str, Any]] = []
+    for step in range(horizon):
+        if aig.num_ands == 0:
+            break
+        phi = extract_features(aig)
+        size, depth = aig.num_ands, aig.depth()
+        results: dict[str, AIG] = {}
+        for name in PASS_NAMES:
+            out = apply_pass(name, aig)
+            results[name] = out
+            tuples.append({
+                "key": key,
+                "step": step,
+                "pass": name,
+                "features": [float(x) for x in phi],
+                "size_before": size,
+                "size_after": out.num_ands,
+                "depth_before": depth,
+                "depth_after": out.depth(),
+            })
+        best = min(
+            PASS_NAMES,
+            key=lambda n: (results[n].num_ands, results[n].depth()),
+        )
+        nxt = results[best]
+        if (nxt.num_ands, nxt.depth()) >= (size, depth):
+            break
+        aig = nxt
+    return tuples
+
+
+def harvest_store(
+    root: PathLike,
+    horizon: int = 3,
+    max_circuits: int | None = None,
+) -> list[dict[str, Any]]:
+    """Training tuples from one run directory's kept solutions.
+
+    Task keys are visited in sorted order; records without a stored
+    ``.aag`` are skipped (harvesting never re-runs a flow to get one).
+    """
+    store = RunStore(root)
+    records = store.load_records()
+    tuples: list[dict[str, Any]] = []
+    n_circuits = 0
+    for key in sorted(records):
+        text = store.solution_text(key)
+        if text is None:
+            continue
+        if max_circuits is not None and n_circuits >= max_circuits:
+            break
+        n_circuits += 1
+        tuples.extend(harvest_circuit(loads_aag(text), key, horizon))
+    return tuples
+
+
+def harvest_run_dirs(
+    roots: Iterable[PathLike],
+    horizon: int = 3,
+    max_circuits: int | None = None,
+) -> list[dict[str, Any]]:
+    """Harvest several run directories (e.g. nightly shard stores)."""
+    tuples: list[dict[str, Any]] = []
+    for root in roots:
+        tuples.extend(harvest_store(root, horizon, max_circuits))
+    return tuples
+
+
+def tuples_to_jsonl(tuples: Iterable[dict[str, Any]]) -> str:
+    """Canonical JSONL serialization (the byte-determinism surface)."""
+    return "".join(
+        json.dumps(t, sort_keys=True, separators=(",", ":")) + "\n"
+        for t in tuples
+    )
+
+
+def load_tuples(path: PathLike) -> list[dict[str, Any]]:
+    """Read tuples written by :func:`tuples_to_jsonl`."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

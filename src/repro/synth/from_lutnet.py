@@ -1,4 +1,11 @@
-"""Memorization LUT network -> AIG (Teams 1 and 6)."""
+"""Memorization LUT network -> AIG (Teams 1 and 6).
+
+Lowers a trained :class:`~repro.ml.lutnet.LUTNetwork` layer by layer:
+every cell's truth table is realized over its fanin literals via
+:func:`repro.aig.build.lut` (cheaper-polarity irredundant SOP,
+structural hashing in the target graph).  Deterministic: layer, unit
+and fanin order fix the construction order.
+"""
 
 from __future__ import annotations
 

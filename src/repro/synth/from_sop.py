@@ -1,4 +1,11 @@
-"""SOP cover -> AIG."""
+"""SOP cover -> AIG.
+
+Lowers a two-level :class:`~repro.twolevel.cover.Cover` into the AIG
+the contest scores: each cube becomes an AND tree over its literals,
+cubes are OR-ed via De Morgan.  Purely structural and deterministic —
+cube and literal order fix the node order, so the same cover always
+produces the same graph.
+"""
 
 from __future__ import annotations
 

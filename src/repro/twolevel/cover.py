@@ -1,4 +1,12 @@
-"""Covers (sums of cubes) and sample-set helpers."""
+"""Covers (sums of cubes) and sample-set helpers.
+
+The two-level representation under the ESPRESSO-style minimizer and
+the tree/rule synthesis paths: a :class:`Cover` is an ordered list of
+:class:`~repro.twolevel.cube.Cube` literal masks over a fixed input
+width, with vectorized sample evaluation.  Cube order is preserved
+everywhere, so minimization results are deterministic and downstream
+AIG construction is byte-stable.
+"""
 
 from __future__ import annotations
 

@@ -14,11 +14,14 @@ from repro.utils.bitops import (
     unpack_bits,
 )
 from repro.utils.rng import derive_seed, rng_for
+from repro.utils.suggest import did_you_mean, near_matches
 
 __all__ = [
     "WORD_BITS",
     "bits_to_int",
+    "did_you_mean",
     "int_to_bits",
+    "near_matches",
     "pack_bits",
     "popcount64",
     "unpack_bits",

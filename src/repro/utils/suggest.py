@@ -1,0 +1,37 @@
+"""Near-match suggestions for unknown-name error messages.
+
+Every registry in the library (problems, flows, spec-override keys)
+rejects unknown names; this module is the one place that turns a
+rejection into an actionable message — a ``difflib``-ranked "did you
+mean" suffix — so typo diagnostics look and rank the same everywhere.
+Deterministic: pure string similarity, no RNG.
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections.abc import Iterable
+
+__all__ = ["did_you_mean", "near_matches"]
+
+
+def near_matches(
+    name: str,
+    pool: Iterable[str],
+    n: int = 5,
+    cutoff: float = 0.5,
+) -> list[str]:
+    """The closest candidates to ``name``, best first (may be empty)."""
+    return difflib.get_close_matches(name, list(pool), n=n, cutoff=cutoff)
+
+
+def did_you_mean(
+    name: str,
+    pool: Iterable[str],
+    n: int = 5,
+    cutoff: float = 0.5,
+) -> str:
+    """A ``"; did you mean rewrite, refactor?"`` suffix, or ``""``
+    when nothing in ``pool`` is close enough to suggest."""
+    near = near_matches(name, pool, n=n, cutoff=cutoff)
+    return f"; did you mean {', '.join(near)}?" if near else ""

@@ -1,0 +1,5 @@
+from collections import OrderedDict
+
+
+def role() -> OrderedDict:
+    return OrderedDict(undocumented=True)

@@ -27,6 +27,9 @@ FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
 #: rule id -> (fixture file, config override or None)
 NO_PATH_SKIPS = LintConfig(rule_path_skips={})
+#: REP501 is confined to src/repro by default; its fixture lints
+#: under a config with the confinement removed.
+NO_PATH_ONLY = LintConfig(rule_path_only={})
 FIRING_FIXTURES = {
     "REP101": ("rep101_rng_global.py", None),
     "REP102": ("rep102_rng_unseeded.py", None),
@@ -40,6 +43,7 @@ FIRING_FIXTURES = {
     # REP403 skips tests/ by default (pytest asserts are fine); the
     # fixture lints under a config with the path skip removed.
     "REP403": ("rep403_runtime_assert.py", NO_PATH_SKIPS),
+    "REP501": ("rep501_module_docstring.py", NO_PATH_ONLY),
 }
 
 
@@ -82,6 +86,7 @@ class TestSuppression:
 
     def test_multi_rule_suppression(self):
         source = (
+            '"""Example."""\n'
             "import json\n"
             "\n"
             "\n"
@@ -104,6 +109,7 @@ class TestSuppression:
 
     def test_suppression_is_per_rule(self):
         source = (
+            '"""Example."""\n'
             "import json\n"
             "\n"
             "payload = json.dumps({})  # repro-lint: ignore[REP402]\n"
